@@ -1,0 +1,30 @@
+"""Figure 6: Totem RRP transmission rate (msgs/s), four nodes.
+
+Paper shape: no-replication and passive track each other at small sizes,
+passive pulls ahead around 1 Kbyte, active sits below no-replication, and
+all rates fall with message size past the packing peaks at 700/1400 bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import QUICK_SIZES
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+STYLES = (ReplicationStyle.NONE, ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE)
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+@pytest.mark.parametrize("size", QUICK_SIZES)
+def test_fig6_send_rate(benchmark, style, size):
+    result = run_once(benchmark, run_throughput, style, 4, size,
+                      duration=DURATION, warmup=WARMUP)
+    benchmark.extra_info["msgs_per_sec"] = round(result.msgs_per_sec)
+    benchmark.extra_info["kbytes_per_sec"] = round(result.kbytes_per_sec)
+    record_row(f"fig6 {style.value:8s} {size:>6d}B "
+               f"{result.msgs_per_sec:>9,.0f} msgs/s")
+    assert result.msgs_per_sec > 0

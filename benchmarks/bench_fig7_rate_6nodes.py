@@ -1,0 +1,28 @@
+"""Figure 7: Totem RRP transmission rate (msgs/s), six nodes.
+
+Paper shape: aggregate rates comparable to the four-node configuration —
+the token schedule shares the same wire among more senders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import QUICK_SIZES
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+STYLES = (ReplicationStyle.NONE, ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE)
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+@pytest.mark.parametrize("size", QUICK_SIZES)
+def test_fig7_send_rate(benchmark, style, size):
+    result = run_once(benchmark, run_throughput, style, 6, size,
+                      duration=DURATION, warmup=WARMUP)
+    benchmark.extra_info["msgs_per_sec"] = round(result.msgs_per_sec)
+    record_row(f"fig7 {style.value:8s} {size:>6d}B "
+               f"{result.msgs_per_sec:>9,.0f} msgs/s")
+    assert result.msgs_per_sec > 0

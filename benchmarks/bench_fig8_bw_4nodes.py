@@ -1,0 +1,32 @@
+"""Figure 8: Totem RRP utilised bandwidth (Kbytes/s), four nodes.
+
+Paper shape: no-replication plateaus near the 100 Mbit/s wire (~10,000
+KB/s); passive replication exceeds it (the second network carries the
+surplus); active replication sits below no-replication; packing peaks show
+at 700 and 1400 bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import QUICK_SIZES
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+STYLES = (ReplicationStyle.NONE, ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE)
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+@pytest.mark.parametrize("size", QUICK_SIZES)
+def test_fig8_bandwidth(benchmark, style, size):
+    result = run_once(benchmark, run_throughput, style, 4, size,
+                      duration=DURATION, warmup=WARMUP)
+    benchmark.extra_info["kbytes_per_sec"] = round(result.kbytes_per_sec)
+    benchmark.extra_info["network_utilization"] = [
+        round(u, 3) for u in result.network_utilization]
+    record_row(f"fig8 {style.value:8s} {size:>6d}B "
+               f"{result.kbytes_per_sec:>9,.0f} KB/s")
+    assert result.kbytes_per_sec > 0

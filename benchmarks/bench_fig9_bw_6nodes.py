@@ -1,0 +1,24 @@
+"""Figure 9: Totem RRP utilised bandwidth (Kbytes/s), six nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import QUICK_SIZES
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+STYLES = (ReplicationStyle.NONE, ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE)
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+@pytest.mark.parametrize("size", QUICK_SIZES)
+def test_fig9_bandwidth(benchmark, style, size):
+    result = run_once(benchmark, run_throughput, style, 6, size,
+                      duration=DURATION, warmup=WARMUP)
+    benchmark.extra_info["kbytes_per_sec"] = round(result.kbytes_per_sec)
+    record_row(f"fig9 {style.value:8s} {size:>6d}B "
+               f"{result.kbytes_per_sec:>9,.0f} KB/s")
+    assert result.kbytes_per_sec > 0

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the substrates (codec, scheduler, receive buffer).
+
+Unlike the figure benchmarks (which run a deterministic simulation once),
+these measure real Python hot paths and benefit from pytest-benchmark's
+statistical repetition.
+"""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import EventScheduler
+from repro.srp.ordering import ReceiveBuffer
+from repro.types import RingId
+from repro.wire.codec import decode_packet, encode_packet
+from repro.wire.packets import Chunk, DataPacket, Token
+
+RING = RingId(seq=4, representative=1)
+
+
+def _sample_packet(size: int = 1024) -> DataPacket:
+    return DataPacket(sender=1, ring_id=RING, seq=42,
+                      chunks=(Chunk.whole(7, b"x" * size),))
+
+
+def test_codec_encode_data(benchmark):
+    packet = _sample_packet()
+    encoded = benchmark(encode_packet, packet)
+    assert len(encoded) > 1024
+
+
+def test_codec_decode_data(benchmark):
+    blob = encode_packet(_sample_packet())
+    packet = benchmark(decode_packet, blob)
+    assert packet.seq == 42
+
+
+def test_codec_roundtrip_token(benchmark):
+    token = Token(ring_id=RING, seq=100, aru=90, aru_id=2, fcc=40,
+                  backlog=7, rotation=12, rtr=[91, 92, 95])
+
+    def roundtrip():
+        return decode_packet(encode_packet(token))
+    assert benchmark(roundtrip) == token
+
+
+def test_scheduler_event_throughput(benchmark):
+    def run_events():
+        scheduler = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                scheduler.call_after(1e-6, tick)
+        scheduler.call_after(0.0, tick)
+        scheduler.run()
+        return count[0]
+    assert benchmark(run_events) == 10_000
+
+
+def test_receive_buffer_insert_and_gc(benchmark):
+    def churn():
+        buffer = ReceiveBuffer()
+        for seq in range(1, 5001):
+            buffer.insert(DataPacket(sender=1, ring_id=RING, seq=seq,
+                                     chunks=()))
+            if seq % 100 == 0:
+                buffer.gc_below(seq - 50)
+        return buffer.my_aru
+    assert benchmark(churn) == 5000

@@ -1,0 +1,79 @@
+"""T2 (paper §8 in-text claims): packing peaks, active deficit, passive gain.
+
+Asserted as *shape* claims (who wins, direction of the gap), with the
+measured magnitudes recorded for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+
+def _rate(style, size, nodes=4):
+    return run_throughput(style, nodes, size, duration=DURATION, warmup=WARMUP)
+
+
+def test_packing_peak_700(benchmark):
+    """Throughput in KB/s peaks at 700 B (two messages per Ethernet frame)."""
+    def measure():
+        return (_rate(ReplicationStyle.NONE, 700),
+                _rate(ReplicationStyle.NONE, 1024))
+    at_700, at_1024 = run_once(benchmark, measure)
+    record_row(f"T2   packing peak: {at_700.kbytes_per_sec:,.0f} KB/s @700B vs "
+               f"{at_1024.kbytes_per_sec:,.0f} KB/s @1024B")
+    assert at_700.kbytes_per_sec > at_1024.kbytes_per_sec
+
+
+def test_packing_peak_1400(benchmark):
+    """Throughput in KB/s peaks at 1400 B (one full frame per message)."""
+    def measure():
+        return (_rate(ReplicationStyle.NONE, 1400),
+                _rate(ReplicationStyle.NONE, 2048))
+    at_1400, at_2048 = run_once(benchmark, measure)
+    record_row(f"T2   packing peak: {at_1400.kbytes_per_sec:,.0f} KB/s @1400B vs "
+               f"{at_2048.kbytes_per_sec:,.0f} KB/s @2048B")
+    assert at_1400.kbytes_per_sec > at_2048.kbytes_per_sec
+
+
+def test_active_costs_throughput(benchmark):
+    """Active replication sits below no-replication (paper: up to
+    1,000-1,500 msgs/s at the ~1 Kbyte operating point)."""
+    def measure():
+        return (_rate(ReplicationStyle.NONE, 1024),
+                _rate(ReplicationStyle.ACTIVE, 1024))
+    base, active = run_once(benchmark, measure)
+    deficit = base.msgs_per_sec - active.msgs_per_sec
+    benchmark.extra_info["deficit_msgs_per_sec"] = round(deficit)
+    record_row(f"T2   active deficit @1024B: {deficit:,.0f} msgs/s "
+               f"(paper: up to 1,000-1,500)")
+    assert deficit > 0, "active replication must cost throughput"
+    assert deficit < 3000, "deficit should be a fraction, not a collapse"
+
+
+def test_passive_exceeds_unreplicated(benchmark):
+    """Passive replication beats no-replication (paper: 2,000-4,000 KB/s)."""
+    def measure():
+        return (_rate(ReplicationStyle.NONE, 1024),
+                _rate(ReplicationStyle.PASSIVE, 1024))
+    base, passive = run_once(benchmark, measure)
+    gain = passive.kbytes_per_sec - base.kbytes_per_sec
+    benchmark.extra_info["gain_kbytes_per_sec"] = round(gain)
+    record_row(f"T2   passive gain @1024B: {gain:,.0f} KB/s "
+               f"(paper: 2,000-4,000)")
+    assert gain > 1000, "passive replication must add usable bandwidth"
+
+
+def test_passive_below_twice_unreplicated(benchmark):
+    """Passive on two networks does not reach 2x the unreplicated rate at the
+    1-Kbyte operating point (paper: protocol processing, not wire, limits)."""
+    def measure():
+        return (_rate(ReplicationStyle.NONE, 1024),
+                _rate(ReplicationStyle.PASSIVE, 1024))
+    base, passive = run_once(benchmark, measure)
+    ratio = passive.msgs_per_sec / base.msgs_per_sec
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    record_row(f"T2   passive/none ratio @1024B: {ratio:.2f}x (paper: <2x)")
+    assert 1.0 < ratio < 2.0

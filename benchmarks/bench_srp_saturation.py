@@ -1,0 +1,38 @@
+"""T1 (paper §2/§8): the Totem SRP alone saturates a 100 Mbit/s Ethernet.
+
+Claim: "a throughput of more than 9,000 1 Kbyte msgs/sec has been achieved
+on a 100Mbit/sec Ethernet, which corresponds to a utilization of almost
+90%."  The benchmark asserts both halves of the claim (with a tolerance for
+the simulated substrate).
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_throughput
+from repro.types import ReplicationStyle
+
+from conftest import record_row, run_once
+
+
+def test_srp_ethernet_saturation(benchmark):
+    result = run_once(benchmark, run_throughput,
+                      ReplicationStyle.NONE, 4, 1024,
+                      duration=0.4, warmup=0.15)
+    benchmark.extra_info["msgs_per_sec"] = round(result.msgs_per_sec)
+    benchmark.extra_info["utilization"] = round(result.network_utilization[0], 3)
+    record_row(f"T1   srp saturation: {result.msgs_per_sec:,.0f} msgs/s at "
+               f"{result.network_utilization[0]:.1%} utilisation "
+               f"(paper: >9,000 at ~90%)")
+    assert result.msgs_per_sec > 9000, "paper claims >9,000 1-KB msgs/s"
+    assert result.network_utilization[0] > 0.85, "paper claims ~90% utilisation"
+
+
+def test_srp_saturation_six_nodes(benchmark):
+    """The claim is not node-count sensitive; check the 6-node testbed too."""
+    result = run_once(benchmark, run_throughput,
+                      ReplicationStyle.NONE, 6, 1024,
+                      duration=0.4, warmup=0.15)
+    record_row(f"T1   srp saturation (6 nodes): {result.msgs_per_sec:,.0f} msgs/s "
+               f"at {result.network_utilization[0]:.1%}")
+    assert result.msgs_per_sec > 9000
+    assert result.network_utilization[0] > 0.85

@@ -1,0 +1,74 @@
+"""X2: fault-detection latency vs monitor threshold (ablation of A5/P4).
+
+The paper fixes the problem-counter and receive-count thresholds without
+exploring them.  This ablation measures, per threshold, how long after a
+total network failure the first fault report is raised — the window during
+which an administrator is not yet alerted (the system itself keeps running
+either way).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.cluster import SimCluster
+from repro.bench.runner import build_config
+from repro.bench.workload import SaturatingWorkload
+from repro.net.faults import FaultPlan
+from repro.types import ReplicationStyle
+
+from conftest import record_row, run_once
+
+FAIL_AT = 0.2
+
+
+def _detection_latency(style: ReplicationStyle, **overrides) -> float:
+    config = build_config(style, num_nodes=4)
+    config = dataclasses.replace(
+        config, totem=dataclasses.replace(config.totem, **overrides))
+    cluster = SimCluster(config)
+    failed = config.totem.num_networks - 1
+    cluster.apply_fault_plan(FaultPlan().fail_network(at=FAIL_AT, network=failed))
+    cluster.start()
+    SaturatingWorkload(cluster, 1024).start()
+    cluster.run_until_condition(
+        lambda: bool(cluster.all_fault_reports()), timeout=5.0)
+    first = cluster.all_fault_reports()[0]
+    return first.time - FAIL_AT
+
+
+@pytest.mark.parametrize("threshold", (2, 10, 30))
+def test_x2_active_problem_counter_threshold(benchmark, threshold):
+    latency = run_once(benchmark, _detection_latency,
+                       ReplicationStyle.ACTIVE,
+                       problem_counter_threshold=threshold)
+    benchmark.extra_info["detection_latency_s"] = round(latency, 4)
+    record_row(f"X2   active threshold={threshold:>3d}: first fault report "
+               f"{latency * 1000:,.1f} ms after failure")
+    assert latency > 0
+
+
+@pytest.mark.parametrize("threshold", (10, 50, 200))
+def test_x2_passive_recv_count_threshold(benchmark, threshold):
+    latency = run_once(benchmark, _detection_latency,
+                       ReplicationStyle.PASSIVE,
+                       recv_count_threshold=threshold)
+    benchmark.extra_info["detection_latency_s"] = round(latency, 4)
+    record_row(f"X2   passive threshold={threshold:>3d}: first fault report "
+               f"{latency * 1000:,.1f} ms after failure")
+    assert latency > 0
+
+
+def test_x2_detection_latency_grows_with_threshold(benchmark):
+    """Sanity of the trade-off: a higher threshold reports later."""
+    def measure():
+        return (_detection_latency(ReplicationStyle.ACTIVE,
+                                   problem_counter_threshold=2),
+                _detection_latency(ReplicationStyle.ACTIVE,
+                                   problem_counter_threshold=30))
+    low, high = run_once(benchmark, measure)
+    record_row(f"X2   ordering: threshold 2 -> {low*1000:.1f} ms, "
+               f"threshold 30 -> {high*1000:.1f} ms")
+    assert low < high

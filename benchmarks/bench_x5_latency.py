@@ -1,0 +1,54 @@
+"""X5: one-way delivery latency per replication style (extension).
+
+The paper evaluates throughput only.  Latency is where the styles differ
+qualitatively under loss: active rides the surviving copy, passive stalls
+on its token timer until retransmission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.latency import measure_delivery_latency
+from repro.types import ReplicationStyle
+
+from conftest import record_row, run_once
+
+STYLES = (ReplicationStyle.NONE, ReplicationStyle.ACTIVE,
+          ReplicationStyle.PASSIVE, ReplicationStyle.ACTIVE_PASSIVE)
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+def test_x5_latency_clean_network(benchmark, style):
+    result = run_once(benchmark, measure_delivery_latency, style,
+                      samples=80)
+    benchmark.extra_info["p50_us"] = round(result.p50 * 1e6)
+    record_row(f"X5   clean  {result.row()}")
+    # One-way latency on an idle 100 Mbit ring is sub-millisecond.
+    assert result.p50 < 0.005
+
+
+@pytest.mark.parametrize("style", (ReplicationStyle.ACTIVE,
+                                   ReplicationStyle.PASSIVE),
+                         ids=lambda s: s.value)
+def test_x5_latency_under_loss(benchmark, style):
+    result = run_once(benchmark, measure_delivery_latency, style,
+                      samples=120, loss_rate=0.05, seed=5)
+    benchmark.extra_info["p99_us"] = round(result.p99 * 1e6)
+    record_row(f"X5   lossy  {result.row()}")
+    assert result.worst < 1.0
+
+
+def test_x5_active_masks_loss_in_tail_latency(benchmark):
+    """§4's qualitative claim, measured: under loss, active's tail latency
+    beats passive's (which pays the token-timeout stall)."""
+    def measure():
+        active = measure_delivery_latency(ReplicationStyle.ACTIVE,
+                                          samples=120, loss_rate=0.05, seed=5)
+        passive = measure_delivery_latency(ReplicationStyle.PASSIVE,
+                                           samples=120, loss_rate=0.05, seed=5)
+        return active, passive
+    active, passive = run_once(benchmark, measure)
+    record_row(f"X5   p99 under 5% loss: active {active.p99 * 1e3:.2f} ms vs "
+               f"passive {passive.p99 * 1e3:.2f} ms")
+    assert active.p99 <= passive.p99

@@ -1,0 +1,79 @@
+"""X6: flow-control window and active-passive K ablations (extensions).
+
+DESIGN.md calls out two tunables the paper fixes silently: the Totem flow
+control window (80 packets/rotation here) and the active-passive K.  These
+ablations quantify both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.cluster import SimCluster
+from repro.bench.runner import build_config
+from repro.bench.workload import SaturatingWorkload
+from repro.types import ReplicationStyle
+
+from conftest import DURATION, WARMUP, record_row, run_once
+
+
+def _throughput(style: ReplicationStyle, num_networks=None,
+                active_passive_k=2, **totem_overrides) -> float:
+    config = build_config(style, num_nodes=4, num_networks=num_networks,
+                          active_passive_k=active_passive_k)
+    if totem_overrides:
+        config = dataclasses.replace(
+            config, totem=dataclasses.replace(config.totem, **totem_overrides))
+    cluster = SimCluster(config)
+    cluster.start()
+    SaturatingWorkload(cluster, 1024).start()
+    cluster.run_for(WARMUP)
+    reference = cluster.nodes[1]
+    base = reference.srp.stats.msgs_delivered
+    cluster.run_for(DURATION)
+    return (reference.srp.stats.msgs_delivered - base) / DURATION
+
+
+@pytest.mark.parametrize("window", (10, 40, 80, 160))
+def test_x6_window_size_sweep(benchmark, window):
+    rate = run_once(benchmark, _throughput, ReplicationStyle.NONE,
+                    window_size=window,
+                    max_messages_per_token=max(1, window // 4))
+    benchmark.extra_info["msgs_per_sec"] = round(rate)
+    record_row(f"X6   window={window:>4d}: {rate:>9,.0f} msgs/s")
+    assert rate > 0
+
+
+def test_x6_small_window_throttles(benchmark):
+    """A tiny window caps broadcasts per rotation and thus throughput."""
+    def measure():
+        return (_throughput(ReplicationStyle.NONE, window_size=8,
+                            max_messages_per_token=2),
+                _throughput(ReplicationStyle.NONE, window_size=80,
+                            max_messages_per_token=20))
+    small, default = run_once(benchmark, measure)
+    record_row(f"X6   window 8 -> {small:,.0f} msgs/s vs 80 -> {default:,.0f}")
+    assert small < default
+
+
+@pytest.mark.parametrize("k", (2, 3))
+def test_x6_active_passive_k_sweep(benchmark, k):
+    rate = run_once(benchmark, _throughput, ReplicationStyle.ACTIVE_PASSIVE,
+                    num_networks=4, active_passive_k=k)
+    benchmark.extra_info["msgs_per_sec"] = round(rate)
+    record_row(f"X6   AP(N=4, K={k}): {rate:>9,.0f} msgs/s")
+    assert rate > 0
+
+
+def test_x6_higher_k_costs_throughput(benchmark):
+    """§4: bandwidth consumption increases K-fold, so K=3 cannot beat K=2."""
+    def measure():
+        return (_throughput(ReplicationStyle.ACTIVE_PASSIVE,
+                            num_networks=4, active_passive_k=2),
+                _throughput(ReplicationStyle.ACTIVE_PASSIVE,
+                            num_networks=4, active_passive_k=3))
+    k2, k3 = run_once(benchmark, measure)
+    record_row(f"X6   K=2 -> {k2:,.0f} msgs/s vs K=3 -> {k3:,.0f} msgs/s")
+    assert k3 <= k2 * 1.05

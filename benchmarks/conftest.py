@@ -1,0 +1,37 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Each benchmark runs a *virtual-time* simulation once per round (the
+simulation is deterministic, so repeating it would measure only the Python
+interpreter).  The interesting output is the reproduced figure/table data,
+attached to each benchmark as ``extra_info`` and printed at the end of the
+session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Reduced sweep parameters so the whole benchmark suite stays fast.
+DURATION = 0.2
+WARMUP = 0.1
+
+_summary_lines = []
+
+
+def record_row(line: str) -> None:
+    _summary_lines.append(line)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if not _summary_lines:
+        return
+    terminalreporter.write_sep("=", "paper reproduction data")
+    for line in _summary_lines:
+        terminalreporter.write_line(line)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Network failover under the paper's full §3 fault model, per style.
+
+Walks one replication style at a time (active, passive, active-passive)
+through a gauntlet of network faults:
+
+  t=0.2s  node 2 cannot *send* on network 0       (per-node TX fault)
+  t=0.4s  node 4 cannot *receive* on network 0    (per-node RX fault)
+  t=0.6s  network 1 partitions {1,2} | {3,4}      (partial network fault)
+  t=0.8s  network 1 fails completely              (total network fault)
+
+Throughout, a steady workload runs and the script tracks delivery,
+membership stability and fault reports.  The paper's promise: the ring
+survives everything above as long as one network still connects everyone
+(network 0 connects all nodes throughout — only node 2's TX and node 4's
+RX on it are severed, which the redundant network covers... until it dies,
+at which point network 0's remaining paths must carry everything).
+
+Run:  python examples/network_failover.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterConfig,
+    FaultPlan,
+    ReplicationStyle,
+    SimCluster,
+    TotemConfig,
+)
+from repro.bench.workload import SaturatingWorkload
+
+
+def run_style(style: ReplicationStyle) -> None:
+    num_networks = 3 if style is ReplicationStyle.ACTIVE_PASSIVE else 2
+    config = ClusterConfig(
+        num_nodes=4,
+        totem=TotemConfig(replication=style, num_networks=num_networks),
+    )
+    cluster = SimCluster(config)
+    plan = (FaultPlan()
+            .sever_send(at=0.2, network=0, node=2)
+            .sever_recv(at=0.4, network=0, node=4)
+            .partition(at=0.6, network=1, groups=[[1, 2], [3, 4]])
+            .fail_network(at=0.8, network=1))
+    cluster.apply_fault_plan(plan)
+    cluster.start()
+
+    workload = SaturatingWorkload(cluster, 512)
+    workload.start()
+
+    print(f"--- {style.value} replication ({num_networks} networks) ---")
+    previous = 0
+    for window_end in (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8):
+        cluster.run_until(window_end)
+        delivered = cluster.nodes[1].srp.stats.msgs_delivered
+        rate = (delivered - previous) / 0.2
+        previous = delivered
+        changes = cluster.nodes[1].srp.stats.membership_changes - 1
+        reports = len(cluster.all_fault_reports())
+        print(f"  t={window_end:.1f}s  rate {rate:>9,.0f} msgs/s   "
+              f"membership changes {changes}   fault reports {reports}")
+
+    # This gauntlet includes asymmetric node faults that can interrupt a
+    # recovery, after which nodes may follow different configuration
+    # lineages — extended virtual synchrony (agreement per configuration)
+    # is the applicable guarantee, not one global history.
+    cluster.assert_evs_consistency()
+    print("  extended virtual synchrony intact across all nodes")
+    for report in cluster.all_fault_reports():
+        print(f"  {report}")
+    # §3: "the order in which the fault reports are issued and the content
+    # of those reports aids the user in diagnosing of the problem" —
+    # automated by repro.core.diagnosis.
+    from repro.core import format_diagnoses
+    print("  automated diagnosis:")
+    for line in format_diagnoses(cluster.diagnose_faults()).splitlines():
+        print(f"    {line}")
+    print()
+
+
+def main() -> None:
+    for style in (ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE,
+                  ReplicationStyle.ACTIVE_PASSIVE):
+        run_style(style)
+
+
+if __name__ == "__main__":
+    main()

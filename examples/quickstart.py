@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: a four-node Totem RRP ring over two redundant LANs.
+
+Builds a simulated cluster, broadcasts a handful of totally ordered
+messages from different nodes, fails one of the two networks mid-run, and
+shows that (a) delivery continues untouched and (b) every node raises a
+fault report for the administrator — the paper's core promise.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterConfig,
+    FaultPlan,
+    ReplicationStyle,
+    SimCluster,
+    TotemConfig,
+)
+
+
+def main() -> None:
+    config = ClusterConfig(
+        num_nodes=4,
+        totem=TotemConfig(replication=ReplicationStyle.ACTIVE, num_networks=2),
+    )
+    cluster = SimCluster(config)
+
+    # Network 1 dies 50 ms into the run; the ring must not notice.
+    cluster.apply_fault_plan(FaultPlan().fail_network(at=0.050, network=1))
+
+    cluster.start()
+
+    # Interleave submissions from several nodes; Totem totally orders them.
+    for i in range(10):
+        sender = 1 + (i % 4)
+        cluster.nodes[sender].submit(f"message {i} from node {sender}".encode())
+        cluster.run_for(0.02)  # 20 ms of virtual time between submissions
+
+    cluster.run_for(0.5)  # let the monitors detect the dead network
+
+    print("=== Delivery at node 3 (identical at every node) ===")
+    for message in cluster.nodes[3].delivered:
+        print(f"  seq {message.seq:>3}  from node {message.sender}: "
+              f"{message.payload.decode()}")
+
+    cluster.assert_total_order()
+    print("\nTotal order verified across all nodes.")
+
+    print("\n=== Fault reports (the administrator's alarm, paper §3) ===")
+    for report in cluster.all_fault_reports():
+        print(f"  {report}")
+
+    changes = cluster.nodes[1].srp.stats.membership_changes - 1
+    print(f"\nMembership changes caused by the network failure: {changes} "
+          "(the failure was transparent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Totem RRP over real UDP sockets: a totally ordered group chat.
+
+The same sans-io protocol engines that run on the simulator run here over
+asyncio datagram sockets — each of the two redundant "networks" is a
+separate UDP socket per node (on a real deployment, a separate NIC and
+subnet, exactly the paper's testbed).
+
+Three chat members race messages at each other; Totem delivers the same
+interleaving to everyone.  No simulator involved — this is real I/O.
+
+Run:  python examples/udp_chat.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import ReplicationStyle, TotemConfig
+from repro.api.asyncio_node import AsyncioTotemNode
+from repro.net.udp import local_address_map
+
+MEMBERS = {1: "alice", 2: "bob", 3: "carol"}
+
+
+async def main() -> None:
+    addresses = local_address_map(sorted(MEMBERS), num_networks=2,
+                                  base_port=19300)
+    config = TotemConfig(
+        replication=ReplicationStyle.ACTIVE,
+        num_networks=2,
+        # Wall-clock timers: keep retransmission gentle on a loopback demo.
+        token_retransmit_interval=0.05,
+        token_loss_timeout=0.5,
+    )
+    nodes = {
+        node_id: AsyncioTotemNode(node_id, config, addresses)
+        for node_id in MEMBERS
+    }
+    for node in nodes.values():
+        await node.start(initial_members=sorted(MEMBERS))
+
+    async def chat(node_id: int, lines: list) -> None:
+        for line in lines:
+            nodes[node_id].submit(f"{MEMBERS[node_id]}: {line}".encode())
+            await asyncio.sleep(0.01)
+
+    await asyncio.gather(
+        chat(1, ["hi all", "anyone seen the build?", "ok found it"]),
+        chat(2, ["hey", "which build?", "nice"]),
+        chat(3, ["morning", "the nightly one?"]),
+    )
+    await asyncio.sleep(0.5)
+
+    transcripts = {
+        node_id: [m.payload.decode() for m in node.delivered]
+        for node_id, node in nodes.items()
+    }
+    reference = transcripts[1]
+    print("=== transcript (identical at every member) ===")
+    for line in reference:
+        print(f"  {line}")
+    assert all(t == reference for t in transcripts.values()), \
+        "members saw different orders!"
+    print(f"\nall {len(MEMBERS)} members agree on the order of "
+          f"{len(reference)} messages (over real UDP sockets)")
+
+    for node in nodes.values():
+        node.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,120 @@
+"""Aggregate statistics over a whole simulated cluster.
+
+Pulls together the per-node SRP/RRP counters, per-LAN traffic accounting
+and per-node CPU accounting into one summary — the benches, examples and
+operators' first stop when asking "what did this run actually do?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class LanSummary:
+    index: int
+    frames_sent: int
+    deliveries: int
+    frames_lost: int
+    frames_blocked: int
+    wire_bytes: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    node: NodeId
+    state: str
+    msgs_submitted: int
+    msgs_delivered: int
+    bytes_delivered: int
+    duplicate_packets: int
+    retransmissions_served: int
+    retransmission_requests: int
+    tokens_accepted: int
+    membership_changes: int
+    faulty_networks: List[int]
+    fault_reports: int
+    cpu_utilization: float
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """One run's aggregate picture."""
+
+    elapsed: float
+    nodes: Dict[NodeId, NodeSummary]
+    lans: List[LanSummary]
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(n.msgs_delivered for n in self.nodes.values())
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(n.retransmissions_served for n in self.nodes.values())
+
+    @property
+    def aggregate_msgs_per_sec(self) -> float:
+        """Delivered msgs/s at the slowest node (the honest system rate)."""
+        if not self.nodes or self.elapsed <= 0:
+            return 0.0
+        return min(n.msgs_delivered for n in self.nodes.values()) / self.elapsed
+
+    def format(self) -> str:
+        lines = [f"cluster summary @ t={self.elapsed:.3f}s "
+                 f"(min-node rate {self.aggregate_msgs_per_sec:,.0f} msgs/s)"]
+        for node in self.nodes.values():
+            lines.append(
+                f"  node {node.node}: {node.state:12s} "
+                f"delivered {node.msgs_delivered:>8,} "
+                f"dup {node.duplicate_packets:>7,} "
+                f"rtr {node.retransmissions_served:>5,} "
+                f"memb {node.membership_changes} "
+                f"faulty {node.faulty_networks} "
+                f"cpu {node.cpu_utilization:.0%}")
+        for lan in self.lans:
+            lines.append(
+                f"  net{lan.index}: frames {lan.frames_sent:>9,} "
+                f"lost {lan.frames_lost:>6,} blocked {lan.frames_blocked:>6,} "
+                f"util {lan.utilization:.0%}")
+        return "\n".join(lines)
+
+
+def summarize(cluster) -> ClusterSummary:
+    """Build a :class:`ClusterSummary` from a live :class:`SimCluster`."""
+    elapsed = cluster.now
+    nodes: Dict[NodeId, NodeSummary] = {}
+    for node_id, node in cluster.nodes.items():
+        stats = node.srp.stats
+        nodes[node_id] = NodeSummary(
+            node=node_id,
+            state=node.srp.state.value,
+            msgs_submitted=stats.msgs_submitted,
+            msgs_delivered=stats.msgs_delivered,
+            bytes_delivered=stats.bytes_delivered,
+            duplicate_packets=stats.duplicate_packets,
+            retransmissions_served=stats.retransmissions_served,
+            retransmission_requests=stats.retransmission_requests,
+            tokens_accepted=stats.tokens_accepted,
+            membership_changes=stats.membership_changes,
+            faulty_networks=list(node.faulty_networks),
+            fault_reports=len(node.log.fault_reports),
+            cpu_utilization=node.cpu.stats.utilization(elapsed),
+        )
+    lans = [
+        LanSummary(
+            index=lan.index,
+            frames_sent=lan.stats.frames_sent,
+            deliveries=lan.stats.deliveries,
+            frames_lost=lan.stats.frames_lost,
+            frames_blocked=lan.stats.frames_blocked,
+            wire_bytes=lan.stats.wire_bytes,
+            utilization=lan.stats.utilization(elapsed),
+        )
+        for lan in cluster.lans
+    ]
+    return ClusterSummary(elapsed=elapsed, nodes=nodes, lans=lans)

@@ -1,0 +1,258 @@
+"""State-machine replication with snapshot state transfer.
+
+Deterministic state machines applied to Totem's totally ordered stream stay
+byte-identical across the group — the classic use the paper motivates (§1).
+What the ordered stream alone does not give you is **state transfer**: a
+node that joins (or rejoins after a crash) has an empty machine and must
+catch up.  :class:`ReplicatedStateMachine` adds that, entirely on top of
+the public API, using three message kinds multiplexed onto the ordered
+stream:
+
+* ``CMD``      — an application command (applied by every synced member),
+* ``MARKER``   — a synchronisation point submitted after a membership
+  change that introduced newcomers; because it is totally ordered, every
+  member of one lineage has *identical* state at the marker's delivery
+  position,
+* ``SNAPSHOT`` — the marker sender's ``machine.snapshot()`` taken at the
+  marker position; newcomers restore it, replay the commands they buffered
+  since the marker, and are then synced.
+
+Which lineage provides the state after a merge?  The group that makes up a
+strict majority of the new configuration (each member can decide this
+locally from its transitional configuration); an exact tie goes to the
+group containing the smallest member id.  Members outside the winning
+lineage **discard their divergent state** and re-sync — the standard
+primary-lineage semantics; applications that need to *merge* divergent
+partitions must do so at a higher level.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Set, runtime_checkable
+
+from ..types import ConfigurationChange, DeliveredMessage, NodeId
+
+_CMD = b"\x01"
+_MARKER = b"\x02"
+_SNAPSHOT = b"\x03"
+_HEADER = struct.Struct(">QI")  # config seq, sender
+
+
+@runtime_checkable
+class StateMachine(Protocol):
+    """What an application implements to be replicated.
+
+    ``apply`` must be deterministic: identical command sequences must
+    produce identical state on every replica.
+    """
+
+    def apply(self, command: bytes) -> None:
+        """Apply one totally ordered command."""
+        ...
+
+    def snapshot(self) -> bytes:
+        """Serialise the full current state."""
+        ...
+
+    def restore(self, snapshot: bytes) -> None:
+        """Replace the state with a previously serialised snapshot."""
+        ...
+
+
+@dataclass
+class SmrStats:
+    commands_submitted: int = 0
+    commands_applied: int = 0
+    commands_buffered: int = 0
+    markers_sent: int = 0
+    snapshots_sent: int = 0
+    snapshots_installed: int = 0
+    state_discards: int = 0
+
+
+class ReplicatedStateMachine:
+    """Replicates a :class:`StateMachine` over a Totem node.
+
+    Construct around a not-yet-started node, then start the node::
+
+        node = cluster.nodes[3]
+        rsm = ReplicatedStateMachine(node, machine)
+        node.start(initial_members)   # or node.start(None) to join
+
+    ``initially_synced=True`` (the default) means this node shares the
+    group's initial state — correct for every member of a coordinated boot
+    (and for a node deliberately starting its own group).  Pass ``False``
+    for a node that *joins* a running group (including a restart after a
+    crash): it then waits for the group's snapshot before applying
+    anything, regardless of whether the membership protocol takes it
+    through a singleton ring first or merges it directly.  At least one
+    initial member must be ``initially_synced=True`` or no one will ever
+    volunteer a snapshot.
+    """
+
+    def __init__(self, node, machine: StateMachine,
+                 initially_synced: bool = True) -> None:
+        self.node = node
+        self.machine = machine
+        self.stats = SmrStats()
+        self.synced = initially_synced
+        #: Members sharing our state lineage (same old ring, same bytes).
+        self._lineage: Set[NodeId] = {node.node_id}
+        self._first_config = True
+        self._current_config_seq = 0
+        self._config_members: Set[NodeId] = {node.node_id}
+        #: Sequence of the config whose sync round we are waiting on.
+        self._awaiting_marker = False
+        self._marker_seen = False
+        self._my_marker_won = False
+        self._buffer: List[bytes] = []
+        node.set_user_callbacks(on_deliver=self._on_deliver,
+                                on_config_change=self._on_config_change)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def submit(self, command: bytes) -> None:
+        """Submit a command for totally ordered, replicated application."""
+        self.stats.commands_submitted += 1
+        self.node.submit(_CMD + command)
+
+    def try_submit(self, command: bytes) -> bool:
+        if self.node.try_submit(_CMD + command):
+            self.stats.commands_submitted += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # configuration changes
+    # ------------------------------------------------------------------
+
+    def _on_config_change(self, change: ConfigurationChange) -> None:
+        members = set(change.membership.members)
+        if change.transitional:
+            # The survivors of our old ring: our state lineage going into
+            # the new configuration.
+            self._lineage &= members
+            self._lineage.add(self.node.node_id)
+            return
+        self._current_config_seq = change.membership.ring_id.seq
+        self._config_members = members
+        if self._first_config:
+            self._first_config = False
+            if self.synced:
+                # Coordinated boot (``initially_synced=True``): everyone in
+                # this first configuration shares the initial state.
+                self._lineage = set(members)
+                self._awaiting_marker = False
+                return
+            # A fresh joiner (``initially_synced=False``).  Alone, it
+            # defines its own (empty) state; with others, it is a newcomer
+            # to *their* lineage and awaits their sync round.
+            self._lineage = {self.node.node_id}
+            if members == {self.node.node_id}:
+                self.synced = True
+                self._awaiting_marker = False
+            else:
+                self._awaiting_marker = True
+                self._buffer.clear()
+            return
+        newcomers = members - self._lineage
+        self._marker_seen = False
+        self._my_marker_won = False
+        if not newcomers:
+            # Shrink (or no change): the lineage continues, no transfer.
+            self._lineage = set(members)
+            self._awaiting_marker = False
+            if not self.synced and members == {self.node.node_id}:
+                # Alone: a group of one defines its own state.
+                self.synced = True
+            return
+        # A sync round is needed.  Everyone waits for the winning marker;
+        # qualified lineages volunteer one.
+        self._awaiting_marker = True
+        self._buffer.clear()
+        if self.synced and self._lineage_qualifies(members):
+            header = _HEADER.pack(self._current_config_seq,
+                                  self.node.node_id)
+            self.node.submit(_MARKER + header)
+            self.stats.markers_sent += 1
+
+    def _lineage_qualifies(self, members: Set[NodeId]) -> bool:
+        """Whether our lineage provides the state for the new config."""
+        t, n = len(self._lineage & members), len(members)
+        if 2 * t > n:
+            return True
+        if 2 * t == n and min(members) in self._lineage:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, message: DeliveredMessage) -> None:
+        kind, body = message.payload[:1], message.payload[1:]
+        if kind == _CMD:
+            self._on_command(body)
+        elif kind == _MARKER:
+            self._on_marker(body, message)
+        elif kind == _SNAPSHOT:
+            self._on_snapshot(body)
+
+    def _on_command(self, command: bytes) -> None:
+        if self.synced:
+            # Synced members always apply.  If our lineage is about to lose
+            # a sync round, the demotion happens AT the winning marker —
+            # strictly before any command the snapshot will not cover.
+            self.machine.apply(command)
+            self.stats.commands_applied += 1
+        elif self._marker_seen:
+            self._buffer.append(command)
+            self.stats.commands_buffered += 1
+
+    def _on_marker(self, body: bytes, message: DeliveredMessage) -> None:
+        config_seq, sender = _HEADER.unpack(body)
+        if config_seq != self._current_config_seq or self._marker_seen:
+            return  # stale round, or a later (losing) volunteer
+        self._marker_seen = True
+        if sender in self._lineage and self.synced:
+            # Our lineage won: we stay synced.  The sender publishes the
+            # snapshot for the newcomers.
+            self._buffer.clear()
+            if sender == self.node.node_id:
+                self._my_marker_won = True
+                header = _HEADER.pack(config_seq, sender)
+                self.node.submit(_SNAPSHOT + header + self.machine.snapshot())
+                self.stats.snapshots_sent += 1
+        else:
+            # Another lineage provides the state: ours is divergent.
+            if self.synced:
+                self.stats.state_discards += 1
+            self.synced = False
+            self._buffer.clear()
+
+    def _on_snapshot(self, body: bytes) -> None:
+        config_seq, sender = _HEADER.unpack(body[:_HEADER.size])
+        snapshot = body[_HEADER.size:]
+        if config_seq != self._current_config_seq:
+            return
+        if self.synced:
+            # We are on the winning lineage; the snapshot settles the round
+            # and the whole configuration now shares one lineage.
+            self._lineage = set(self._config_members)
+            self._awaiting_marker = False
+            return
+        if not self._marker_seen:
+            return  # cannot happen on one ring (ordered), defensive
+        self.machine.restore(snapshot)
+        self.stats.snapshots_installed += 1
+        for command in self._buffer:
+            self.machine.apply(command)
+            self.stats.commands_applied += 1
+        self._buffer.clear()
+        self.synced = True
+        self._lineage = set(self._config_members)
+        self._awaiting_marker = False

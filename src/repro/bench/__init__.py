@@ -1,0 +1,48 @@
+"""Benchmark harness reproducing the paper's evaluation (§8).
+
+Every table and figure in the paper maps to a function here (see the
+experiment index in DESIGN.md):
+
+* Figures 6/7 — total send rate (msgs/s) vs message size, 4 and 6 nodes,
+* Figures 8/9 — bandwidth (Kbytes/s) vs message size, 4 and 6 nodes,
+* the §2/§8 textual claims (SRP saturation ~9,000 1-Kbyte msgs/s at ~90 %
+  Ethernet utilisation; active costs 1000-1500 msgs/s; passive gains
+  2000-4000 Kbytes/s),
+* extension experiments the authors could not run (active-passive needs
+  three networks; they had two).
+
+Run ``totem-bench --help`` or ``python -m repro.bench``.
+"""
+
+from .runner import ThroughputResult, run_throughput
+from .workload import SaturatingWorkload
+from .figures import (
+    FigurePoint,
+    FigureResult,
+    run_figure,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table_srp_saturation,
+    table_claims,
+    extension_active_passive,
+    extension_failover_timeline,
+)
+
+__all__ = [
+    "ThroughputResult",
+    "run_throughput",
+    "SaturatingWorkload",
+    "FigurePoint",
+    "FigureResult",
+    "run_figure",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "table_srp_saturation",
+    "table_claims",
+    "extension_active_passive",
+    "extension_failover_timeline",
+]

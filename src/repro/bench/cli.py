@@ -1,0 +1,115 @@
+"""Command-line entry point: regenerate any of the paper's figures/tables.
+
+Examples::
+
+    totem-bench fig6 --quick       # Figure 6, reduced sweep
+    totem-bench all                # every figure + every table (slow)
+    totem-bench claims             # the §8 in-text numeric claims
+    totem-bench failover           # extension X3: transparency timeline
+    python -m repro.bench fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..types import ReplicationStyle
+from . import figures
+
+TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover", "all")
+
+
+def _maybe_svg(figure, svg_dir: Optional[str]) -> None:
+    if svg_dir is None:
+        return
+    import os
+
+    from .svg import write_figure_svg
+    os.makedirs(svg_dir, exist_ok=True)
+    path = write_figure_svg(figure, os.path.join(svg_dir, f"{figure.name}.svg"))
+    print(f"[wrote {path}]", file=sys.stderr)
+
+
+def _run_target(target: str, quick: bool, svg_dir: Optional[str] = None) -> None:
+    started = time.time()
+    if target == "fig6":
+        figure = figures.figure6(quick=quick)
+        print(figure.render())
+        _maybe_svg(figure, svg_dir)
+    elif target == "fig7":
+        figure = figures.figure7(quick=quick)
+        print(figure.render())
+        _maybe_svg(figure, svg_dir)
+    elif target == "fig8":
+        figure = figures.figure8(quick=quick)
+        print(figure.render())
+        _maybe_svg(figure, svg_dir)
+    elif target == "fig9":
+        figure = figures.figure9(quick=quick)
+        print(figure.render())
+        _maybe_svg(figure, svg_dir)
+    elif target == "srp":
+        print("=== T1: Totem SRP Ethernet saturation (paper §2/§8) ===")
+        print(figures.table_srp_saturation())
+        print()
+    elif target == "claims":
+        print("=== T2: §8 in-text numeric claims ===")
+        print(figures.table_claims(quick=quick))
+        print()
+    elif target == "ap":
+        print(figures.extension_active_passive(quick=quick).render())
+    elif target == "failover":
+        for style in (ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE):
+            print(f"=== X3: failover timeline, {style.value} replication ===")
+            print(figures.extension_failover_timeline(style=style))
+            print()
+    elif target == "all":
+        fig6 = figures.figure6(quick=quick)
+        print(fig6.render())
+        _maybe_svg(fig6, svg_dir)
+        fig8 = figures.as_bandwidth_view(
+            fig6, "fig8", "Figure 8: Totem RRP bandwidth, 4 nodes")
+        print(fig8.render())
+        _maybe_svg(fig8, svg_dir)
+        fig7 = figures.figure7(quick=quick)
+        print(fig7.render())
+        _maybe_svg(fig7, svg_dir)
+        fig9 = figures.as_bandwidth_view(
+            fig7, "fig9", "Figure 9: Totem RRP bandwidth, 6 nodes")
+        print(fig9.render())
+        _maybe_svg(fig9, svg_dir)
+        print("=== T1: Totem SRP Ethernet saturation ===")
+        print(figures.table_srp_saturation())
+        print()
+        print("=== T2: §8 in-text numeric claims ===")
+        print(figures.table_claims(figure=fig6))
+        print()
+        print(figures.extension_active_passive(quick=quick).render())
+        for style in (ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE):
+            print(f"=== X3: failover timeline, {style.value} replication ===")
+            print(figures.extension_failover_timeline(style=style))
+            print()
+    print(f"[{target} completed in {time.time() - started:.1f}s wall clock]",
+          file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="totem-bench",
+        description="Reproduce the Totem RRP paper's evaluation (ICDCS 2002 §8).")
+    parser.add_argument("target", choices=TARGETS,
+                        help="which figure/table to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep (fewer sizes, shorter runs)")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="also write figures as SVG files into DIR")
+    args = parser.parse_args(argv)
+    _run_target(args.target, quick=args.quick, svg_dir=args.svg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Delivery-latency measurement.
+
+The paper's evaluation is throughput-only; latency is nevertheless where
+the replication styles differ most visibly under loss (§4: active masks
+loss "without any message retransmission delay", passive must wait for
+retransmission).  This module measures one-way agreed-delivery latency —
+submit at one node until delivered at another — under configurable load
+and loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..api.cluster import SimCluster
+from ..config import LanConfig
+from ..net.faults import FaultPlan
+from ..types import ReplicationStyle
+from .runner import build_config
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Latency sample statistics (seconds)."""
+
+    style: ReplicationStyle
+    samples: int
+    mean: float
+    p50: float
+    p99: float
+    worst: float
+
+    def row(self) -> str:
+        return (f"{self.style.value:15s} mean {self.mean * 1e3:7.3f} ms  "
+                f"p50 {self.p50 * 1e3:7.3f} ms  p99 {self.p99 * 1e3:7.3f} ms  "
+                f"worst {self.worst * 1e3:7.3f} ms")
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def measure_delivery_latency(style: ReplicationStyle,
+                             num_nodes: int = 4,
+                             message_size: int = 512,
+                             samples: int = 200,
+                             loss_rate: float = 0.0,
+                             gap: float = 0.002,
+                             seed: int = 1,
+                             lan: Optional[LanConfig] = None) -> LatencyResult:
+    """One-way latency: node 1 submits, measured at node ``num_nodes``.
+
+    ``gap`` spaces the probes so the ring stays lightly loaded (latency
+    under saturation is a flow-control question, not a protocol one).
+    """
+    config = build_config(style, num_nodes, lan=lan, seed=seed)
+    cluster = SimCluster(config)
+    if loss_rate > 0.0:
+        plan = FaultPlan()
+        for network in range(len(cluster.lans)):
+            plan.set_loss(at=0.0, network=network, rate=loss_rate)
+        cluster.apply_fault_plan(plan)
+    cluster.start()
+    cluster.run_for(0.05)  # let the ring spin up
+
+    sink = cluster.nodes[num_nodes]
+    latencies: List[float] = []
+    payload = b"\x07" * message_size
+    for _ in range(samples):
+        target = len(sink.delivered) + 1
+        sent_at = cluster.now
+        cluster.nodes[1].submit(payload)
+        cluster.run_until_condition(
+            lambda: len(sink.delivered) >= target, timeout=5.0, step=0.0002)
+        latencies.append(cluster.now - sent_at)
+        cluster.run_for(gap)
+
+    latencies.sort()
+    return LatencyResult(
+        style=style,
+        samples=len(latencies),
+        mean=sum(latencies) / len(latencies),
+        p50=_percentile(latencies, 0.50),
+        p99=_percentile(latencies, 0.99),
+        worst=latencies[-1])

@@ -1,0 +1,91 @@
+"""Plain-text rendering of benchmark results (tables and ASCII charts).
+
+The paper's figures are log-log plots of rate vs message size; the ASCII
+chart here renders the same series on a log-log grid so the *shape* (who
+wins, where the curves cross, where the packing peaks sit) is visible in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+_MARKERS = "ox+*#@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_loglog_chart(series: Series, width: int = 64, height: int = 18,
+                       x_label: str = "message length (bytes)",
+                       y_label: str = "") -> str:
+    """Render series on a log-log character grid, paper-figure style."""
+    points = [(x, y) for pts in series.values() for x, y in pts if x > 0 and y > 0]
+    if not points:
+        return "(no data)"
+    x_min = min(p[0] for p in points)
+    x_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    if x_min == x_max:
+        x_max = x_min * 10
+    if y_min == y_max:
+        y_max = y_min * 10
+
+    def col(x: float) -> int:
+        frac = (math.log10(x) - math.log10(x_min)) / (
+            math.log10(x_max) - math.log10(x_min))
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def row(y: float) -> int:
+        frac = (math.log10(y) - math.log10(y_min)) / (
+            math.log10(y_max) - math.log10(y_min))
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, pts) in zip(_MARKERS, sorted(series.items())):
+        legend.append(f"  {marker} = {name}")
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            r, c = row(y), col(x)
+            cell = grid[height - 1 - r][c]
+            grid[height - 1 - r][c] = marker if cell == " " else "&"
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_max:,.0f}"
+    bottom = f"{y_min:,.0f}"
+    pad = max(len(top), len(bottom))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(grid_row)}|")
+    lines.append(" " * pad + " +" + "-" * width + "+")
+    x_axis = f"{x_min:,.0f}".ljust(width // 2) + f"{x_max:,.0f}".rjust(width // 2)
+    lines.append(" " * pad + "  " + x_axis)
+    lines.append(" " * pad + "  " + x_label + "  (log-log)")
+    lines.extend(legend)
+    lines.append("  & = overlapping points")
+    return "\n".join(lines)

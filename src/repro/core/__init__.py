@@ -1,0 +1,46 @@
+"""The Totem Redundant Ring Protocol — the paper's contribution.
+
+The RRP is a layer between the Totem SRP and the N redundant networks
+(paper §4-§7).  It decides which network(s) carry each message and token,
+merges the redundant receive streams back into the single stream the SRP
+expects, monitors network health entirely locally (no probes — paper §3),
+and raises fault reports to the application while the system keeps running
+on the surviving networks.
+
+Three replication styles (paper §4):
+
+* :class:`ActiveReplication` — every packet on all N networks (§5, Fig. 2),
+* :class:`PassiveReplication` — each packet on one network, round-robin
+  (§6, Figs. 4-5),
+* :class:`ActivePassiveReplication` — each packet on K of N networks (§7),
+* :class:`SingleNetwork` — the degenerate pass-through used for the paper's
+  "no replication" baseline.
+
+Use :func:`make_replication_engine` to construct the style named in a
+:class:`~repro.config.TotemConfig`.
+"""
+
+from .active import ActiveReplication
+from .active_passive import ActivePassiveReplication
+from .base import ReplicationEngine, SingleNetwork
+from .diagnosis import Diagnosis, FaultHypothesis, diagnose, format_diagnoses
+from .factory import make_replication_engine
+from .monitor import ProblemCounterMonitor, RecvCountMonitor
+from .passive import PassiveReplication
+from .reports import NetworkFaultState
+
+__all__ = [
+    "ReplicationEngine",
+    "SingleNetwork",
+    "ActiveReplication",
+    "PassiveReplication",
+    "ActivePassiveReplication",
+    "make_replication_engine",
+    "NetworkFaultState",
+    "ProblemCounterMonitor",
+    "RecvCountMonitor",
+    "Diagnosis",
+    "FaultHypothesis",
+    "diagnose",
+    "format_diagnoses",
+]

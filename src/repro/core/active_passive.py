@@ -1,0 +1,202 @@
+"""Active-passive replication (paper §7).
+
+A hybrid usable with at least three networks: every message and token is
+sent over K of the N networks (1 < K < N), the window of K advancing
+round-robin (if the last copy went via network m, the next packet uses
+networks m+1 … m+K mod N).  Up to K-1 lossy networks are masked without any
+retransmission delay, at K× (not N×) bandwidth cost.
+
+The receive side is the two-stage pipeline §7 describes:
+
+* **stage 1 (passive-style)**: receive-count monitor modules observe every
+  message and token per network;
+* **stage 2 (active-style)**: a token is passed up once copies have arrived
+  on K distinct networks, or when the token timer expires.
+
+One addition on top of the paper's sketch: because a message's K-network
+window and the token's K-network window need not intersect for K ≤ N/2, K
+token copies do not by themselves prove that earlier messages have arrived
+(the FIFO argument of §5 holds per shared network only).  We therefore run
+the assembled token through the passive gap check as well — if messages are
+still missing the token is briefly buffered exactly as in Figure 4.  This
+composes the protections of both parents and is noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..types import NodeId
+from ..wire.packets import DataPacket, Token
+from .base import ReplicationEngine
+from .monitor import RecvCountMonitor
+
+
+class ActivePassiveReplication(ReplicationEngine):
+    """The §7 two-stage pipeline."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._send_message_via = self.config.num_networks - 1
+        self._send_token_via = self.config.num_networks - 1
+        # Stage 2 (active-style) token assembly state.
+        self._last_token: Optional[Token] = None
+        self._recv_flags: List[bool] = [False] * self.config.num_networks
+        self._delivered_current = False
+        self._assemble_timer = None
+        # Passive-style gap buffering after assembly.
+        self._buffered_token: Optional[Token] = None
+        self._gap_timer = None
+        # Stage 1 (passive-style) monitors.
+        self.token_monitor = RecvCountMonitor(
+            self.faults, self.config.recv_count_threshold, label="token")
+        self.message_monitors: Dict[NodeId, RecvCountMonitor] = {}
+        self._topup_timer = None
+
+    def start(self) -> None:
+        self._schedule_topup()
+
+    def _schedule_topup(self) -> None:
+        if self._stopped:
+            return
+        self._topup_timer = self.runtime.set_timer(
+            self.config.recv_count_topup_interval, self._on_topup)
+
+    def _on_topup(self) -> None:
+        self.token_monitor.topup()
+        for monitor in self.message_monitors.values():
+            monitor.topup()
+        self._schedule_topup()
+
+    def _message_monitor(self, origin: NodeId) -> RecvCountMonitor:
+        monitor = self.message_monitors.get(origin)
+        if monitor is None:
+            monitor = RecvCountMonitor(
+                self.faults, self.config.recv_count_threshold,
+                label=f"messages from {origin}")
+            self.message_monitors[origin] = monitor
+        return monitor
+
+    # ----- sends: K copies, round-robin window -----
+
+    def _window(self, start: int) -> List[int]:
+        """The next K non-faulty networks after ``start``, cyclically."""
+        chosen: List[int] = []
+        current = start
+        for _ in range(2 * self.config.num_networks):
+            current = (current + 1) % self.config.num_networks
+            if not self.faults.is_faulty(current) and current not in chosen:
+                chosen.append(current)
+                if len(chosen) == self.effective_k():
+                    break
+        return chosen
+
+    def effective_k(self) -> int:
+        """K, capped by how many networks are still operational."""
+        return min(self.config.active_passive_k,
+                   self.faults.operational_count())
+
+    def broadcast_data(self, packet: DataPacket) -> None:
+        self.stats.data_sends += 1
+        window = self._window(self._send_message_via)
+        for i in window:
+            self.stack.broadcast(i, packet)
+        if window:
+            self._send_message_via = window[-1]
+
+    def send_token(self, token: Token, dest: NodeId) -> None:
+        self.stats.token_sends += 1
+        window = self._window(self._send_token_via)
+        for i in window:
+            self.stack.unicast(i, dest, token)
+        if window:
+            self._send_token_via = window[-1]
+
+    # ----- receives -----
+
+    def recv_data(self, packet: DataPacket, network: int) -> None:
+        duplicate = self.srp.is_duplicate_data(packet)
+        self.srp.on_data(packet, network)
+        if not duplicate:
+            self._message_monitor(packet.sender).record(network)
+        buffered = self._buffered_token
+        if (buffered is not None
+                and not self.srp.has_gaps_up_to(buffered.seq)):
+            self._release_buffered(network)
+
+    def recv_token(self, token: Token, network: int) -> None:
+        self.token_monitor.record(network)
+        last = self._last_token
+        is_new = (last is None
+                  or token.ring_id != last.ring_id
+                  or token.stamp > last.stamp)
+        if is_new:
+            self._last_token = token
+            self._recv_flags = [False] * self.config.num_networks
+            self._recv_flags[network] = True
+            self._delivered_current = False
+            self.stats.tokens_merged += 1
+            self._start_assemble_timer()
+        elif token.ring_id == last.ring_id and token.stamp == last.stamp:
+            self._recv_flags[network] = True
+            if self._delivered_current:
+                self.stats.late_token_copies += 1
+        else:
+            return
+
+        if self._delivered_current:
+            return
+        if sum(self._recv_flags) >= self.effective_k():
+            self._stop_assemble_timer()
+            self._deliver_assembled(network)
+
+    def _deliver_assembled(self, network: int) -> None:
+        """Stage 2 complete: run the token through the passive gap check."""
+        assert self._last_token is not None
+        self._delivered_current = True
+        token = self._last_token
+        if (token.ring_id == self.srp.ring_id
+                and self.srp.has_gaps_up_to(token.seq)):
+            self._buffered_token = token
+            self.stats.tokens_buffered += 1
+            if self._gap_timer is None:
+                self._gap_timer = self.runtime.set_timer(
+                    self.config.passive_token_timeout, self._on_gap_timeout)
+            return
+        self.stats.tokens_delivered += 1
+        self.srp.on_token(token, network)
+
+    def _release_buffered(self, network: int) -> None:
+        token = self._buffered_token
+        self._buffered_token = None
+        if self._gap_timer is not None:
+            self._gap_timer.cancel()
+            self._gap_timer = None
+        if token is not None:
+            self.stats.tokens_delivered += 1
+            self.srp.on_token(token, network)
+
+    def _on_gap_timeout(self) -> None:
+        self._gap_timer = None
+        if self._buffered_token is not None:
+            self.stats.token_timer_expiries += 1
+            self._release_buffered(network=-1)
+
+    # ----- stage-2 token timer -----
+
+    def _start_assemble_timer(self) -> None:
+        self._stop_assemble_timer()
+        self._assemble_timer = self.runtime.set_timer(
+            self.config.active_token_timeout, self._on_assemble_timeout)
+
+    def _stop_assemble_timer(self) -> None:
+        if self._assemble_timer is not None:
+            self._assemble_timer.cancel()
+            self._assemble_timer = None
+
+    def _on_assemble_timeout(self) -> None:
+        self._assemble_timer = None
+        if self._last_token is None or self._delivered_current:
+            return
+        self.stats.token_timer_expiries += 1
+        self._deliver_assembled(network=-1)

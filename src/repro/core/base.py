@@ -1,0 +1,200 @@
+"""Base class shared by the RRP replication engines.
+
+A replication engine implements two interfaces at once:
+
+* downward it is the :class:`~repro.srp.engine.RingTransport` the SRP sends
+  through (``broadcast_data`` / ``send_token`` / membership traffic);
+* upward it is the receive handler of the node's
+  :class:`~repro.net.stack.NetworkStack`, dispatching arriving packets by
+  type to the style-specific ``recv_data`` / ``recv_token`` hooks.
+
+Membership traffic rides the plain paths (see DESIGN.md): join messages are
+broadcast like data packets and duplicate-filtered by the SRP; commit tokens
+are idempotent unicasts and are never buffered or merged.  The health
+monitors only observe regular data packets and regular tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import TotemConfig
+from ..sim.runtime import Runtime
+from ..types import FaultReportFn, NodeId
+from ..wire.packets import (
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    PacketType,
+    Token,
+    packet_type_of,
+)
+from .reports import NetworkFaultState
+
+
+@dataclass
+class RrpStats:
+    """Counters for the replication layer."""
+
+    data_sends: int = 0
+    token_sends: int = 0
+    control_sends: int = 0
+    tokens_merged: int = 0
+    tokens_delivered: int = 0
+    tokens_buffered: int = 0
+    token_timer_expiries: int = 0
+    late_token_copies: int = 0
+
+
+class ReplicationEngine:
+    """Common plumbing for the active/passive/active-passive styles."""
+
+    def __init__(self, node_id: NodeId, config: TotemConfig, runtime: Runtime,
+                 stack, on_fault_report: Optional[FaultReportFn] = None) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.runtime = runtime
+        self.stack = stack
+        self.faults = NetworkFaultState(
+            node_id, config.num_networks,
+            on_fault_report=on_fault_report, now_fn=runtime.now)
+        self.stats = RrpStats()
+        self._srp = None
+        self._stopped = False
+        stack.set_receive_handler(self.on_packet)
+
+    # ----- wiring -----
+
+    def bind(self, srp) -> None:
+        """Attach the SRP engine that sits above this layer."""
+        self._srp = srp
+        self.stack.set_recv_cost_fn(self._recv_cost)
+
+    def start(self) -> None:
+        """Start periodic monitor timers (style-specific)."""
+
+    def stop(self) -> None:
+        """Stop periodic monitor timers (for an abandoned incarnation)."""
+        self._stopped = True
+
+    @property
+    def srp(self):
+        if self._srp is None:
+            raise RuntimeError("replication engine not bound to an SRP")
+        return self._srp
+
+    def _recv_cost(self, packet: object) -> float:
+        """CPU cost classifier for the network stack (duplicates are cheap)."""
+        lan = getattr(self.stack, "_lan_config", None)
+        if lan is None:  # pragma: no cover - stack always has a LanConfig
+            return 0.0
+        size = packet.wire_size()  # type: ignore[attr-defined]
+        if isinstance(packet, DataPacket):
+            if self._srp is not None and self._srp.is_duplicate_data(packet):
+                # Dropped after the sequence-number check: the copy chain
+                # still ran, but no ordering/delivery work happens.
+                return lan.cpu_per_dup_recv + lan.cpu_per_byte_dup * size
+            completed = sum(1 for chunk in packet.chunks if chunk.is_last)
+            return (lan.cpu_per_recv + lan.cpu_per_byte_recv * size
+                    + lan.cpu_per_msg * completed)
+        return lan.cpu_per_recv + lan.cpu_per_byte_recv * size
+
+    # ----- upward dispatch (NetworkStack handler) -----
+
+    def on_packet(self, packet: object, network: int) -> None:
+        ptype = packet_type_of(packet)
+        if ptype is PacketType.DATA:
+            assert isinstance(packet, DataPacket)
+            self.recv_data(packet, network)
+        elif ptype is PacketType.TOKEN:
+            assert isinstance(packet, Token)
+            self.recv_token(packet, network)
+        elif ptype is PacketType.JOIN:
+            assert isinstance(packet, JoinMessage)
+            self.srp.on_join(packet, network)
+        else:
+            assert isinstance(packet, CommitToken)
+            self.srp.on_commit_token(packet, network)
+
+    # ----- style-specific hooks -----
+
+    def recv_data(self, packet: DataPacket, network: int) -> None:
+        raise NotImplementedError
+
+    def recv_token(self, token: Token, network: int) -> None:
+        raise NotImplementedError
+
+    # ----- RingTransport (style-specific sends) -----
+
+    def broadcast_data(self, packet: DataPacket) -> None:
+        raise NotImplementedError
+
+    def send_token(self, token: Token, dest: NodeId) -> None:
+        raise NotImplementedError
+
+    def on_membership_trouble(self) -> None:
+        """The SRP entered the membership protocol: re-probe all networks.
+
+        Fault marks only suppress *sending*; if the marks themselves are
+        wrong (the Figure-5 monitors can false-positive under sustained
+        retransmission load), two nodes can end up sending on disjoint
+        networks and the membership protocol livelocks.  Clearing the marks
+        restores full connectivity for the gather/commit exchange; a
+        genuinely dead network is re-detected by the monitors shortly after
+        the new ring forms.  (Corosync's RRP needed the same escape hatch.)
+        """
+        for network in list(self.faults.faulty_networks):
+            self.faults.clear_fault(
+                network, detail="re-probing during membership change")
+
+    def broadcast_join(self, join: JoinMessage) -> None:
+        """Joins go out on every operational network, in every style.
+
+        Membership traffic is rare, small and critical: a join or commit
+        token lost to an unlucky round-robin assignment stalls ring
+        formation for a full timeout, and with a deterministic assignment
+        the same hop can lose it every retry (a livelock we hit in
+        testing).  Replicating it actively costs nothing measurable and the
+        SRP deduplicates the copies.  Only steady-state data and regular
+        tokens follow the configured replication style.
+        """
+        self.stats.control_sends += 1
+        self._broadcast_control(join)
+
+    def send_commit_token(self, commit: CommitToken, dest: NodeId) -> None:
+        """Commit tokens go out on every operational network (see
+        :meth:`broadcast_join`); receivers deduplicate by (ring, rotation)."""
+        self.stats.control_sends += 1
+        self._unicast_control(commit, dest)
+
+    def _broadcast_control(self, packet: object) -> None:
+        for i in self.faults.operational_networks:
+            self.stack.broadcast(i, packet)
+
+    def _unicast_control(self, packet: object, dest: NodeId) -> None:
+        for i in self.faults.operational_networks:
+            self.stack.unicast(i, dest, packet)
+
+
+class SingleNetwork(ReplicationEngine):
+    """Degenerate RRP: one network, straight pass-through.
+
+    This is the paper's "no replication" baseline in Figures 6-9, and it is
+    also a readable specification of the interface the real styles extend.
+    """
+
+    def recv_data(self, packet: DataPacket, network: int) -> None:
+        self.srp.on_data(packet, network)
+
+    def recv_token(self, token: Token, network: int) -> None:
+        self.stats.tokens_delivered += 1
+        self.srp.on_token(token, network)
+
+    def broadcast_data(self, packet: DataPacket) -> None:
+        self.stats.data_sends += 1
+        self.stack.broadcast(0, packet)
+
+    def send_token(self, token: Token, dest: NodeId) -> None:
+        self.stats.token_sends += 1
+        self.stack.unicast(0, dest, token)

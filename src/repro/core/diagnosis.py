@@ -1,0 +1,172 @@
+"""Fault diagnosis from the RRP's fault reports (paper §3).
+
+The paper: "The order in which the fault reports are issued and the content
+of those reports aids the user in diagnosing of the problem."  This module
+automates that reasoning: given the fault reports collected from all nodes,
+:func:`diagnose` infers the most likely physical fault.
+
+The signatures it distinguishes (all derived from §3's fault model and the
+monitor designs of §5/§6):
+
+* **total network failure** — every node marks the same network within a
+  short window, none of the reports single out a specific origin;
+* **receive-path fault at node V** — V reports the network first (its
+  token/message monitors starve), then the *other* nodes mark the network
+  citing "messages from V" once V stops sending on it (the §3 propagation
+  rule);
+* **send-path fault at node V** — the other nodes mark the network citing
+  "messages from V" but V itself never reports it (V receives fine);
+* **sporadic degradation** — reports exist but are not corroborated by a
+  quorum; likely loss bursts or a marginal component.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..types import FaultKind, FaultReport, NetworkIndex, NodeId
+
+#: Monitors cite origins as "messages from <node>" (see RecvCountMonitor).
+_ORIGIN_RE = re.compile(r"messages from (\d+)")
+
+
+class FaultHypothesis(enum.Enum):
+    """What the reports point to."""
+
+    TOTAL_NETWORK_FAILURE = "total network failure"
+    NODE_RECEIVE_FAULT = "node receive-path fault"
+    NODE_SEND_FAULT = "node send-path fault"
+    SPORADIC_DEGRADATION = "sporadic degradation"
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One inferred physical fault."""
+
+    hypothesis: FaultHypothesis
+    network: NetworkIndex
+    #: The implicated node for send/receive-path faults, else None.
+    node: Optional[NodeId]
+    #: Fraction of expected corroborating nodes that reported.
+    confidence: float
+    explanation: str
+    reports: Sequence[FaultReport] = field(default=(), compare=False)
+
+    def __str__(self) -> str:
+        where = f" at node {self.node}" if self.node is not None else ""
+        return (f"{self.hypothesis.value}{where} on network {self.network} "
+                f"(confidence {self.confidence:.0%}): {self.explanation}")
+
+
+def _cited_origin(report: FaultReport) -> Optional[NodeId]:
+    match = _ORIGIN_RE.search(report.detail)
+    return int(match.group(1)) if match else None
+
+
+def diagnose(reports: Sequence[FaultReport],
+             all_nodes: Sequence[NodeId],
+             window: float = 2.0) -> List[Diagnosis]:
+    """Infer physical faults from fault reports of a whole cluster.
+
+    ``all_nodes`` is the cluster membership (needed to judge corroboration:
+    a report only some nodes can make is itself a signature).  ``window``
+    bounds how far apart, in report-time seconds, corroborating reports of
+    one fault may lie.
+
+    Returns one :class:`Diagnosis` per implicated network, ordered by
+    first-report time.  Restore reports clear earlier failure reports for
+    the same (node, network).
+    """
+    nodes = set(all_nodes)
+    # Keep only failure reports that were not later cleared.
+    active: Dict[tuple, FaultReport] = {}
+    for report in sorted(reports, key=lambda r: r.time):
+        key = (report.node, report.network)
+        if report.kind is FaultKind.NETWORK_FAILED:
+            active.setdefault(key, report)
+        elif report.kind is FaultKind.NETWORK_RESTORED:
+            active.pop(key, None)
+
+    by_network: Dict[NetworkIndex, List[FaultReport]] = defaultdict(list)
+    for report in sorted(active.values(), key=lambda r: r.time):
+        by_network[report.network].append(report)
+
+    diagnoses: List[Diagnosis] = []
+    for network, net_reports in sorted(by_network.items(),
+                                       key=lambda kv: kv[1][0].time):
+        first = net_reports[0]
+        in_window = [r for r in net_reports if r.time - first.time <= window]
+        reporters: Set[NodeId] = {r.node for r in in_window}
+        cited = [_cited_origin(r) for r in in_window]
+        cited_nodes = {c for c in cited if c is not None}
+
+        if reporters == nodes and len(cited_nodes) <= 1 and not cited_nodes:
+            diagnoses.append(Diagnosis(
+                hypothesis=FaultHypothesis.TOTAL_NETWORK_FAILURE,
+                network=network, node=None, confidence=1.0,
+                explanation=(f"all {len(nodes)} nodes marked network "
+                             f"{network} within {window}s with no specific "
+                             f"origin implicated"),
+                reports=tuple(in_window)))
+            continue
+
+        # A single origin cited by (most of) the others?
+        if len(cited_nodes) == 1:
+            victim = next(iter(cited_nodes))
+            others = nodes - {victim}
+            corroborators = {r.node for r in in_window
+                             if _cited_origin(r) == victim}
+            confidence = len(corroborators) / max(1, len(others))
+            if victim in reporters and first.node == victim:
+                diagnoses.append(Diagnosis(
+                    hypothesis=FaultHypothesis.NODE_RECEIVE_FAULT,
+                    network=network, node=victim, confidence=confidence,
+                    explanation=(f"node {victim} starved first on network "
+                                 f"{network}; {len(corroborators)} other "
+                                 f"node(s) then stopped hearing node "
+                                 f"{victim} there (the §3 propagation "
+                                 f"signature)"),
+                    reports=tuple(in_window)))
+                continue
+            if victim not in reporters:
+                diagnoses.append(Diagnosis(
+                    hypothesis=FaultHypothesis.NODE_SEND_FAULT,
+                    network=network, node=victim, confidence=confidence,
+                    explanation=(f"{len(corroborators)} node(s) stopped "
+                                 f"hearing node {victim} on network "
+                                 f"{network}, but node {victim} itself "
+                                 f"receives normally there"),
+                    reports=tuple(in_window)))
+                continue
+
+        if reporters == nodes:
+            diagnoses.append(Diagnosis(
+                hypothesis=FaultHypothesis.TOTAL_NETWORK_FAILURE,
+                network=network, node=None,
+                confidence=len(reporters) / len(nodes),
+                explanation=(f"all nodes marked network {network}; mixed "
+                             f"report contents suggest the failure was "
+                             f"observed through several monitors"),
+                reports=tuple(in_window)))
+            continue
+
+        diagnoses.append(Diagnosis(
+            hypothesis=FaultHypothesis.SPORADIC_DEGRADATION,
+            network=network, node=None,
+            confidence=len(reporters) / len(nodes),
+            explanation=(f"only {sorted(reporters)} of {sorted(nodes)} "
+                         f"marked network {network}; not corroborated by "
+                         f"a full quorum"),
+            reports=tuple(in_window)))
+    return diagnoses
+
+
+def format_diagnoses(diagnoses: Sequence[Diagnosis]) -> str:
+    """Human-readable multi-line rendering."""
+    if not diagnoses:
+        return "no faults diagnosed"
+    return "\n".join(f"- {d}" for d in diagnoses)

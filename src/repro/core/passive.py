@@ -1,0 +1,141 @@
+"""Passive replication (paper §6, Figures 4 and 5).
+
+Each message and each token is sent over exactly one network, assigned
+round-robin (skipping networks marked faulty), so the fault-free bandwidth
+is the *sum* of the networks' bandwidths at the cost of no loss masking.
+
+Receive side (Figure 4):
+
+* data packets pass straight up;
+* a token is passed up only when no messages are missing relative to it
+  (``anyMessagesMissing()``, i.e. the SRP's aru has reached the token's
+  sequence number) — this is requirement P1: a message merely *delayed* on
+  a slower network must never trigger a retransmission request;
+* otherwise the token is buffered and a token timer started (10 ms in the
+  paper); the timer is never restarted while active.  On expiry the buffered
+  token is delivered anyway (requirement P3: progress under real loss);
+* as a latency optimisation the paper also checks on every message arrival
+  whether the arrival closed the last gap — if so the buffered token is
+  released immediately instead of waiting out the timer.
+
+Monitoring (Figure 5): M+1 receive-count modules — one per message origin
+and one for the token.  A network whose count lags the best network by more
+than a threshold is declared faulty (P4); lagging counters are topped up
+periodically so sporadic loss is forgiven (P5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..types import NodeId
+from ..wire.packets import DataPacket, Token
+from .base import ReplicationEngine
+from .monitor import RecvCountMonitor
+
+
+class PassiveReplication(ReplicationEngine):
+    """The Figure-4 algorithm plus the Figure-5 monitor modules."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._send_message_via = self.config.num_networks - 1
+        self._send_token_via = self.config.num_networks - 1
+        self._buffered_token: Optional[Token] = None
+        self._token_timer = None
+        self._topup_timer = None
+        self.token_monitor = RecvCountMonitor(
+            self.faults, self.config.recv_count_threshold, label="token")
+        self.message_monitors: Dict[NodeId, RecvCountMonitor] = {}
+
+    def start(self) -> None:
+        self._schedule_topup()
+
+    def _schedule_topup(self) -> None:
+        if self._stopped:
+            return
+        self._topup_timer = self.runtime.set_timer(
+            self.config.recv_count_topup_interval, self._on_topup)
+
+    def _on_topup(self) -> None:
+        self.token_monitor.topup()
+        for monitor in self.message_monitors.values():
+            monitor.topup()
+        self._schedule_topup()
+
+    def _message_monitor(self, origin: NodeId) -> RecvCountMonitor:
+        monitor = self.message_monitors.get(origin)
+        if monitor is None:
+            monitor = RecvCountMonitor(
+                self.faults, self.config.recv_count_threshold,
+                label=f"messages from {origin}")
+            self.message_monitors[origin] = monitor
+        return monitor
+
+    # ----- sends: round-robin over non-faulty networks -----
+
+    def _next_network(self, current: int) -> int:
+        for _ in range(self.config.num_networks):
+            current = (current + 1) % self.config.num_networks
+            if not self.faults.is_faulty(current):
+                return current
+        return current  # all faulty (cannot happen: last never marked)
+
+    def broadcast_data(self, packet: DataPacket) -> None:
+        self.stats.data_sends += 1
+        self._send_message_via = self._next_network(self._send_message_via)
+        self.stack.broadcast(self._send_message_via, packet)
+
+    def send_token(self, token: Token, dest: NodeId) -> None:
+        self.stats.token_sends += 1
+        self._send_token_via = self._next_network(self._send_token_via)
+        self.stack.unicast(self._send_token_via, dest, token)
+
+    # ----- receives -----
+
+    def recv_data(self, packet: DataPacket, network: int) -> None:
+        duplicate = self.srp.is_duplicate_data(packet)
+        self.srp.on_data(packet, network)
+        if not duplicate:
+            # Retransmitted copies are rebroadcast by whichever node holds
+            # them, on that node's round-robin position — counting them
+            # against the *original* sender's monitor only adds noise.
+            self._message_monitor(packet.sender).record(network)
+        # Latency optimisation from §6: this message may have been the last
+        # gap blocking a buffered token.
+        buffered = self._buffered_token
+        if (buffered is not None
+                and not self.srp.has_gaps_up_to(buffered.seq)):
+            self._release_buffered(network)
+
+    def recv_token(self, token: Token, network: int) -> None:
+        self.token_monitor.record(network)
+        if (token.ring_id == self.srp.ring_id
+                and self.srp.has_gaps_up_to(token.seq)):
+            # Messages are missing: they may be merely delayed on another
+            # network (Figure 3 scenarios).  Buffer the token (P1).
+            self._buffered_token = token
+            self.stats.tokens_buffered += 1
+            if self._token_timer is None:
+                self._token_timer = self.runtime.set_timer(
+                    self.config.passive_token_timeout, self._on_token_timeout)
+            return
+        self.stats.tokens_delivered += 1
+        self.srp.on_token(token, network)
+
+    def _release_buffered(self, network: int) -> None:
+        token = self._buffered_token
+        self._buffered_token = None
+        if self._token_timer is not None:
+            self._token_timer.cancel()
+            self._token_timer = None
+        if token is not None:
+            self.stats.tokens_delivered += 1
+            self.srp.on_token(token, network)
+
+    def _on_token_timeout(self) -> None:
+        self._token_timer = None
+        if self._buffered_token is None:
+            return
+        self.stats.token_timer_expiries += 1
+        self._release_buffered(network=-1)

@@ -1,0 +1,30 @@
+"""Network substrate: simulated redundant Ethernet LANs and fault injection.
+
+This package stands in for the paper's physical testbed (two 100 Mbit/s
+Ethernets per node).  :class:`SimLan` models one shared-medium Ethernet with
+frame-level serialisation, per-(sender, network) FIFO delivery — the exact
+ordering assumption §5 of the paper relies on — plus configurable loss.
+:class:`NetworkFaultModel` and :class:`FaultPlan` inject the §3 fault model:
+send faults, receive faults, partial partitions and total network failure.
+:class:`NodeCpu` and :class:`NetworkStack` model protocol-stack CPU cost,
+which is what makes the paper's performance shapes (active slower, passive
+faster-but-sub-2x) emerge.
+"""
+
+from .faults import FaultPlan, NetworkFaultModel
+from .interfaces import PacketHandler, Port
+from .simlan import LanPort, LanStats, SimLan
+from .stack import CpuStats, NetworkStack, NodeCpu
+
+__all__ = [
+    "FaultPlan",
+    "NetworkFaultModel",
+    "PacketHandler",
+    "Port",
+    "SimLan",
+    "LanPort",
+    "LanStats",
+    "NodeCpu",
+    "CpuStats",
+    "NetworkStack",
+]

@@ -1,0 +1,166 @@
+"""A simulated shared-medium Ethernet LAN.
+
+The model follows the paper's testbed semantics:
+
+* one shared 100 Mbit/s medium per network — frames serialise one after
+  another (Totem's token schedule means senders rarely contend, which is how
+  the SRP drives an Ethernet to ~90 % utilisation, §2/§8),
+* per-(sender, network) FIFO delivery to each receiver in the fault-free
+  case — exactly the assumption the RRP correctness argument uses (§5),
+* FIFO is violated only by frame loss (base rate, injected extra loss, or a
+  scripted fault), never by reordering,
+* the sender does not hear its own broadcast (Totem self-delivers locally).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..config import LanConfig
+from ..errors import TransportError
+from ..sim.scheduler import EventScheduler
+from ..types import NodeId
+from .faults import NetworkFaultModel
+
+#: Delivery callback: ``deliver(src, packet)`` on the receiving node.
+DeliverFn = Callable[[NodeId, object], None]
+
+
+@dataclass
+class LanStats:
+    """Traffic accounting for one simulated LAN."""
+
+    frames_offered: int = 0
+    frames_sent: int = 0
+    deliveries: int = 0
+    frames_lost: int = 0
+    frames_blocked: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    #: Seconds the medium spent transmitting (for utilisation measurement).
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the medium was transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class SimLan:
+    """One simulated Ethernet network with an arbitrary set of attached nodes."""
+
+    def __init__(self, scheduler: EventScheduler, config: LanConfig,
+                 rng: random.Random, index: int = 0) -> None:
+        self._scheduler = scheduler
+        self.config = config
+        self.index = index
+        self._rng = rng
+        self.faults = NetworkFaultModel()
+        self.stats = LanStats()
+        self._receivers: Dict[NodeId, DeliverFn] = {}
+        #: Attachment generation per node: a re-attached node gets a new
+        #: generation and ports of older incarnations go dead (a restarted
+        #: process must not ghost-transmit through its predecessor's NIC).
+        self._generations: Dict[NodeId, int] = {}
+        #: Virtual time at which the medium finishes its current backlog.
+        self._medium_free_at: float = 0.0
+
+    # ----- attachment -----
+
+    def attach(self, node: NodeId, deliver: DeliverFn) -> "LanPort":
+        """Attach ``node``; ``deliver(src, packet)`` fires on frame arrival."""
+        if node in self._receivers:
+            raise TransportError(f"node {node} already attached to net{self.index}")
+        self._receivers[node] = deliver
+        generation = self._generations.get(node, 0) + 1
+        self._generations[node] = generation
+        return LanPort(self, node, generation)
+
+    def detach(self, node: NodeId) -> None:
+        """Remove a node (e.g. a crashed process) from the network."""
+        self._receivers.pop(node, None)
+
+    @property
+    def nodes(self) -> tuple:
+        return tuple(self._receivers)
+
+    # ----- transmission -----
+
+    def transmit(self, src: NodeId, packet: object,
+                 dest: Optional[NodeId] = None,
+                 generation: Optional[int] = None) -> None:
+        """Send ``packet`` from ``src``; broadcast when ``dest`` is None.
+
+        The frame occupies the medium for its serialisation time, then is
+        delivered (after propagation latency) to every eligible receiver.
+        The sender never receives its own frame.  A ``generation`` that no
+        longer matches the node's current attachment is a dead incarnation's
+        port and transmits nothing.
+        """
+        self.stats.frames_offered += 1
+        if (generation is not None
+                and self._generations.get(src) != generation):
+            self.stats.frames_blocked += 1
+            return
+        if not self.faults.can_send(src):
+            self.stats.frames_blocked += 1
+            return
+        payload = packet.wire_size()  # type: ignore[attr-defined]
+        wire_time = self.config.wire_time(payload)
+        now = self._scheduler.now()
+        start = max(now, self._medium_free_at)
+        done = start + wire_time
+        self._medium_free_at = done
+        self.stats.frames_sent += 1
+        self.stats.payload_bytes += payload
+        self.stats.wire_bytes += max(self.config.min_frame,
+                                     payload + self.config.frame_overhead)
+        self.stats.busy_time += wire_time
+        arrival = done + self.config.latency
+
+        # Burst loss happens at the medium/switch: one draw per frame, all
+        # receivers of a broadcast share the outcome.
+        if (self.faults.burst_loss is not None
+                and self.faults.burst_loss.frame_lost(self._rng)):
+            self.stats.frames_lost += 1
+            return
+
+        if dest is not None:
+            targets = [dest] if dest in self._receivers else []
+        else:
+            targets = [node for node in self._receivers if node != src]
+        for node in targets:
+            if not self.faults.can_deliver(src, node):
+                self.stats.frames_blocked += 1
+                continue
+            loss = self.config.loss_rate + self.faults.extra_loss_rate
+            if loss > 0.0 and self._rng.random() < loss:
+                self.stats.frames_lost += 1
+                continue
+            self.stats.deliveries += 1
+            self._scheduler.call_at(arrival, self._receivers[node], src, packet)
+
+
+class LanPort:
+    """One node's attachment to one :class:`SimLan` (implements ``Port``)."""
+
+    __slots__ = ("_lan", "_node", "_generation")
+
+    def __init__(self, lan: SimLan, node: NodeId, generation: int = 1) -> None:
+        self._lan = lan
+        self._node = node
+        self._generation = generation
+
+    @property
+    def network_index(self) -> int:
+        return self._lan.index
+
+    def broadcast(self, packet: object) -> None:
+        self._lan.transmit(self._node, packet, generation=self._generation)
+
+    def unicast(self, dest: NodeId, packet: object) -> None:
+        self._lan.transmit(self._node, packet, dest=dest,
+                           generation=self._generation)

@@ -1,0 +1,174 @@
+"""Per-node CPU model and the network stack glue.
+
+The paper attributes its performance results to protocol-stack processing
+cost, not just wire bandwidth: active replication loses throughput because it
+"doubles the number of calls to the network protocol stack" (§8), and passive
+replication scales sub-linearly because ordering/retransmission/liveness
+processing saturates the CPU before the second network does.
+
+:class:`NodeCpu` is a single-server FIFO queue in virtual time: every
+stack traversal (send or receive) and every per-message protocol action
+occupies the CPU for a configured cost.  :class:`NetworkStack` routes frames
+between a node's protocol engine and its N :class:`~repro.net.simlan.LanPort`
+attachments, charging CPU on both paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..config import LanConfig
+from ..errors import TransportError
+from ..sim.scheduler import EventScheduler
+from ..types import NodeId
+from .interfaces import PacketHandler
+from .simlan import LanPort
+
+#: Returns the CPU seconds to charge for receiving ``packet``.
+RecvCostFn = Callable[[object], float]
+
+
+@dataclass
+class CpuStats:
+    """CPU accounting for one node."""
+
+    busy_time: float = 0.0
+    operations: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class NodeCpu:
+    """A single-server FIFO CPU in virtual time.
+
+    ``submit(cost, fn)`` runs ``fn`` once all previously submitted work has
+    finished and ``cost`` further seconds have elapsed.  ``cost`` may be a
+    callable, evaluated when the job *starts* — this matters for the
+    duplicate-receive discount: whether a frame is a duplicate is only known
+    once every earlier frame has actually been processed.
+    """
+
+    def __init__(self, scheduler: EventScheduler) -> None:
+        self._scheduler = scheduler
+        self._queue: "deque" = deque()
+        self._running = False
+        self.stats = CpuStats()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue) + (1 if self._running else 0)
+
+    def submit(self, cost, fn: Callable[..., None], *args: object) -> None:
+        """Queue ``fn(*args)`` behind all pending work.
+
+        ``cost`` is seconds of CPU time, or a zero-argument callable
+        returning seconds, evaluated when the job reaches the head of the
+        queue.
+        """
+        self._queue.append((cost, fn, args))
+        if not self._running:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._running = False
+            return
+        self._running = True
+        cost, fn, args = self._queue.popleft()
+        if callable(cost):
+            cost = cost()
+        if cost < 0:
+            raise TransportError(f"negative CPU cost {cost}")
+        self.stats.busy_time += cost
+        self.stats.operations += 1
+        self._scheduler.call_after(cost, self._finish, fn, args)
+
+    def _finish(self, fn: Callable[..., None], args: tuple) -> None:
+        try:
+            fn(*args)
+        finally:
+            self._start_next()
+
+
+class NetworkStack:
+    """A node's view of its N redundant networks.
+
+    Downward: ``broadcast(i, pkt)`` / ``unicast(i, dest, pkt)`` charge one
+    stack-call CPU cost, then hand the frame to network ``i``.  Upward:
+    frames arriving from any network are queued on the CPU (cost decided by
+    ``recv_cost_fn``, which the protocol glue sets so duplicate frames are
+    cheaper) and then passed to the receive handler with the network index —
+    the ``recvMsg(m, nx)`` / ``recvToken(t, nx)`` interface of Figures 2
+    and 4.
+    """
+
+    def __init__(self, node: NodeId, cpu: NodeCpu, lan_config: LanConfig,
+                 ports: Sequence[LanPort] = ()) -> None:
+        self.node = node
+        self._cpu = cpu
+        self._lan_config = lan_config
+        self._ports: List[LanPort] = list(ports)
+        self._handler: Optional[PacketHandler] = None
+        self._recv_cost_fn: RecvCostFn = lambda packet: lan_config.cpu_per_recv
+        #: Frames dropped because no handler was installed yet.
+        self.undelivered = 0
+
+    @property
+    def num_networks(self) -> int:
+        return len(self._ports)
+
+    def add_port(self, port: LanPort) -> None:
+        """Attach one more network (ports are indexed in attachment order)."""
+        self._ports.append(port)
+
+    def set_receive_handler(self, handler: PacketHandler) -> None:
+        """Install the upward handler: ``handler(packet, network_index)``."""
+        self._handler = handler
+
+    def set_recv_cost_fn(self, fn: RecvCostFn) -> None:
+        """Install the receive CPU-cost classifier (duplicates are cheaper)."""
+        self._recv_cost_fn = fn
+
+    # ----- downward path (engine -> network) -----
+
+    def _send_cost(self, packet: object) -> float:
+        lan = self._lan_config
+        return lan.cpu_per_send + lan.cpu_per_byte_send * packet.wire_size()  # type: ignore[attr-defined]
+
+    def broadcast(self, network: int, packet: object) -> None:
+        port = self._port(network)
+        self._cpu.submit(self._send_cost(packet), port.broadcast, packet)
+
+    def unicast(self, network: int, dest: NodeId, packet: object) -> None:
+        port = self._port(network)
+        self._cpu.submit(self._send_cost(packet), port.unicast, dest, packet)
+
+    def _port(self, network: int) -> LanPort:
+        try:
+            return self._ports[network]
+        except IndexError:
+            raise TransportError(
+                f"node {self.node} has no network {network} "
+                f"(has {len(self._ports)})") from None
+
+    # ----- upward path (network -> engine) -----
+
+    def make_deliver_fn(self, network: int):
+        """The per-network delivery callback to register with a LAN."""
+        def deliver(src: NodeId, packet: object) -> None:
+            # Cost is resolved when the job starts, so a copy arriving just
+            # behind its twin is correctly billed as a duplicate.
+            self._cpu.submit(lambda: self._recv_cost_fn(packet),
+                             self._dispatch, packet, network)
+        return deliver
+
+    def _dispatch(self, packet: object, network: int) -> None:
+        if self._handler is None:
+            self.undelivered += 1
+            return
+        self._handler(packet, network)

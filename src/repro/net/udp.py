@@ -1,0 +1,125 @@
+"""Real-socket transport: N redundant networks as N UDP port spaces.
+
+The protocol engines are sans-io, so the same SRP/RRP code that runs on the
+simulator runs here over asyncio UDP sockets.  Each redundant "network" is a
+separate UDP socket per node; broadcast is emulated by unicast fan-out to
+every peer's address on that network (on a real deployment each network
+would be a separate NIC/subnet and the fan-out a subnet broadcast, exactly
+as in the paper's testbed).
+
+The address map is static configuration, mirroring the paper's fixed
+testbed wiring::
+
+    addresses = {1: [("127.0.0.1", 9000), ("127.0.0.1", 9001)],
+                 2: [("127.0.0.1", 9010), ("127.0.0.1", 9011)]}
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CodecError, TransportError
+from ..types import NodeId
+from ..wire.codec import decode_packet, encode_packet
+from .interfaces import PacketHandler
+
+Address = Tuple[str, int]
+#: node -> one address per network.
+AddressMap = Dict[NodeId, Sequence[Address]]
+
+
+def local_address_map(node_ids: Sequence[NodeId], num_networks: int,
+                      base_port: int = 19000,
+                      host: str = "127.0.0.1") -> AddressMap:
+    """A loopback address map for demos and tests."""
+    return {
+        node: [(host, base_port + 16 * i + j) for j in range(num_networks)]
+        for i, node in enumerate(sorted(node_ids))
+    }
+
+
+class _NetworkProtocol(asyncio.DatagramProtocol):
+    """Datagram handler for one node's socket on one network."""
+
+    def __init__(self, owner: "UdpStack", network: int) -> None:
+        self._owner = owner
+        self._network = network
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._on_datagram(data, self._network)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self._owner.errors.append(exc)
+
+
+class UdpStack:
+    """The network-stack interface of :class:`ReplicationEngine`, over UDP."""
+
+    def __init__(self, node: NodeId, addresses: AddressMap) -> None:
+        if node not in addresses:
+            raise TransportError(f"node {node} missing from address map")
+        lengths = {len(addrs) for addrs in addresses.values()}
+        if len(lengths) != 1:
+            raise TransportError("all nodes must have one address per network")
+        self.node = node
+        self.addresses = addresses
+        self._num_networks = lengths.pop()
+        self._transports: List[asyncio.DatagramTransport] = []
+        self._handler: Optional[PacketHandler] = None
+        self.errors: List[Exception] = []
+        self.decode_failures = 0
+
+    @property
+    def num_networks(self) -> int:
+        return self._num_networks
+
+    def set_receive_handler(self, handler: PacketHandler) -> None:
+        self._handler = handler
+
+    def set_recv_cost_fn(self, fn: Callable[[object], float]) -> None:
+        """No-op: real hardware charges its own CPU."""
+
+    async def open(self) -> None:
+        """Bind one socket per network at this node's configured addresses."""
+        loop = asyncio.get_running_loop()
+        for network in range(self._num_networks):
+            host, port = self.addresses[self.node][network]
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda network=network: _NetworkProtocol(self, network),
+                local_addr=(host, port))
+            self._transports.append(transport)
+
+    def close(self) -> None:
+        for transport in self._transports:
+            transport.close()
+        self._transports.clear()
+
+    # ----- downward (engine -> wire) -----
+
+    def _send(self, network: int, dest: NodeId, data: bytes) -> None:
+        if not self._transports:
+            raise TransportError("UdpStack not opened")
+        addr = tuple(self.addresses[dest][network])
+        self._transports[network].sendto(data, addr)
+
+    def broadcast(self, network: int, packet: object) -> None:
+        data = encode_packet(packet)  # type: ignore[arg-type]
+        for dest in self.addresses:
+            if dest != self.node:
+                self._send(network, dest, data)
+
+    def unicast(self, network: int, dest: NodeId, packet: object) -> None:
+        self._send(network, dest, encode_packet(packet))  # type: ignore[arg-type]
+
+    # ----- upward (wire -> engine) -----
+
+    def _on_datagram(self, data: bytes, network: int) -> None:
+        if self._handler is None:
+            return
+        try:
+            packet = decode_packet(data)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        self._handler(packet, network)

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package replaces the paper's physical testbed with a virtual-time event
+scheduler.  Every run is a pure function of its inputs: events at equal
+timestamps fire in insertion order, and all randomness flows through named,
+seeded streams (:mod:`repro.sim.rng`).
+"""
+
+from .clock import VirtualClock
+from .scheduler import EventScheduler, Timer
+from .rng import RngRegistry
+from .runtime import Runtime, SimRuntime
+
+__all__ = [
+    "VirtualClock",
+    "EventScheduler",
+    "Timer",
+    "RngRegistry",
+    "Runtime",
+    "SimRuntime",
+]

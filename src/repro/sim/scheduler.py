@@ -1,0 +1,150 @@
+"""Event scheduler: the heart of the discrete-event simulator.
+
+Events are callbacks scheduled at absolute virtual times.  Ties are broken
+by insertion order, which makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .clock import VirtualClock
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation.
+
+    Cancellation is O(1): the heap entry is tombstoned and skipped when it
+    surfaces.  A timer that has fired or been cancelled is inert.
+    """
+
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+
+    def __init__(self, when: float, callback: Callable[..., None], args: tuple) -> None:
+        self.when = when
+        self._callback: Optional[Callable[..., None]] = callback
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent."""
+        self._cancelled = True
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        """True if the timer is still pending (not fired, not cancelled)."""
+        return not self._cancelled and not self._fired
+
+    def _fire(self) -> None:
+        if self._cancelled or self._fired:
+            return
+        self._fired = True
+        callback, args = self._callback, self._args
+        self._callback, self._args = None, ()
+        assert callback is not None
+        callback(*args)
+
+
+class EventScheduler:
+    """Priority-queue driven virtual-time event loop.
+
+    The scheduler owns the clock.  ``run_until`` / ``run`` pop events in
+    (time, insertion-order) order, advance the clock, and fire callbacks.
+    Callbacks may schedule further events, including at the current time.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    # ----- scheduling -----
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self.clock.now()}"
+            )
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._counter), timer))
+        return timer
+
+    def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.clock.now() + delay, callback, *args)
+
+    # ----- execution -----
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of heap entries (including tombstoned cancellations)."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if drained."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        when, _, timer = heapq.heappop(self._heap)
+        self.clock.advance_to(when)
+        timer._fire()
+        self._events_processed += 1
+        return True
+
+    def run_until(self, t: float) -> None:
+        """Run events with timestamps ``<= t``, then set the clock to ``t``.
+
+        Events scheduled exactly at ``t`` do fire.
+        """
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > t:
+                break
+            self.step()
+        self.clock.advance_to(max(t, self.clock.now()))
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        Returns the number of events fired by this call.  A protocol stack
+        with periodic timers never drains, so most callers want
+        :meth:`run_until`; ``run`` exists for bounded unit tests.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired

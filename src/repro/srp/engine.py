@@ -1,0 +1,1013 @@
+"""The Totem Single Ring Protocol engine (paper §2).
+
+:class:`TotemSrp` is a sans-io state machine.  It receives packets and timer
+expirations, and emits packets through a :class:`RingTransport` — normally
+the Totem RRP layer (:mod:`repro.core`), or a trivial single-network adapter
+for the paper's "no replication" baseline.
+
+Responsibilities (all from the Totem SRP, Amir et al. TOCS 1995, as
+summarised in §2 of the RRP paper):
+
+* **Total order** — broadcast only while holding the token; stamp each
+  packet with the token's global sequence number; deliver in sequence order.
+* **Reliability** — gaps detected from sequence numbers; retransmission
+  requests ride the token's ``rtr`` list; any holder of a requested packet
+  rebroadcasts it (so one retransmission heals all gap-sufferers at once —
+  the behaviour §2 notes "simplifies the design of the Totem RRP").
+* **Token robustness** — the last token is periodically re-sent until there
+  is evidence the successor received it; the ring leader bumps a rotation
+  counter so an idle ring's retransmitted token is recognisable (§2
+  footnote).
+* **Fault detection** — no token for ``token_loss_timeout`` starts the
+  membership protocol.
+* **Membership** — gather (join-message consensus) → commit (two-pass
+  commit token) → recovery (old-ring messages exchanged, encapsulated, on
+  the new ring), delivering transitional and regular configuration changes
+  with extended-virtual-synchrony semantics.
+* **Flow control** — fcc/backlog window (:mod:`repro.srp.flow`).
+* **Packing/fragmentation** — (:mod:`repro.srp.packing`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
+
+from ..config import TotemConfig
+from ..errors import NotMemberError
+from ..sim.runtime import Runtime
+from ..types import (
+    ConfigurationChange,
+    ConfigChangeFn,
+    DeliveredMessage,
+    DeliverFn,
+    Membership,
+    NodeId,
+    RingId,
+    SeqNum,
+)
+from ..wire.codec import decode_packet, encode_packet
+from ..wire.packets import (
+    CHUNK_HEADER_BYTES,
+    Chunk,
+    ChunkFlags,
+    ChunkKind,
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    MemberInfo,
+    Token,
+    TOKEN_MAX_RTR,
+)
+from .flow import FlowController
+from .ordering import ReceiveBuffer
+from .packing import Packer, Reassembler
+from .send_queue import SendQueue
+
+
+class RingTransport(Protocol):
+    """What the SRP needs from the layer below (the RRP or a single LAN)."""
+
+    def broadcast_data(self, packet: DataPacket) -> None: ...
+
+    def send_token(self, token: Token, dest: NodeId) -> None: ...
+
+    def broadcast_join(self, join: JoinMessage) -> None: ...
+
+    def send_commit_token(self, token: CommitToken, dest: NodeId) -> None: ...
+
+
+class SrpState(enum.Enum):
+    """Protocol states (operational + the three membership states)."""
+
+    OPERATIONAL = "operational"
+    GATHER = "gather"
+    COMMIT = "commit"
+    RECOVERY = "recovery"
+
+
+@dataclass
+class SrpStats:
+    """Counters exposed for tests, monitors and the benchmark harness."""
+
+    msgs_submitted: int = 0
+    msgs_delivered: int = 0
+    bytes_delivered: int = 0
+    packets_broadcast: int = 0
+    packets_received: int = 0
+    duplicate_packets: int = 0
+    tokens_accepted: int = 0
+    tokens_sent: int = 0
+    duplicate_tokens: int = 0
+    token_retransmits: int = 0
+    retransmissions_served: int = 0
+    retransmission_requests: int = 0
+    token_loss_events: int = 0
+    gathers_entered: int = 0
+    membership_changes: int = 0
+    recovery_packets: int = 0
+    #: Token rotation timing (interval between successive token acceptances).
+    rotation_time_total: float = 0.0
+    rotation_time_max: float = 0.0
+    rotation_count: int = 0
+
+    @property
+    def rotation_time_mean(self) -> float:
+        if not self.rotation_count:
+            return 0.0
+        return self.rotation_time_total / self.rotation_count
+
+
+class TotemSrp:
+    """One node's Totem Single Ring Protocol instance."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: TotemConfig,
+        runtime: Runtime,
+        transport: RingTransport,
+        on_deliver: Optional[DeliverFn] = None,
+        on_config_change: Optional[ConfigChangeFn] = None,
+        trace=None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.runtime = runtime
+        self.transport = transport
+        self.on_deliver: DeliverFn = on_deliver or (lambda message: None)
+        self.on_config_change: ConfigChangeFn = on_config_change or (lambda change: None)
+        #: Flight-recorder hook: ``trace(event, detail)`` (see repro.trace).
+        self.trace = trace or (lambda event, detail="": None)
+
+        self.state = SrpState.GATHER
+        self.ring_id = RingId(seq=0, representative=node_id)
+        self.membership = Membership(self.ring_id, (node_id,))
+        self.stats = SrpStats()
+
+        # ----- operational (current ring) state -----
+        self.recv_buffer = ReceiveBuffer()
+        self._delivered_seq: SeqNum = 0
+        self._reassembler = Reassembler()
+        self.send_queue = SendQueue(config.send_queue_capacity)
+        self._packer = Packer(self.send_queue, config.max_packet_payload,
+                              config.enable_packing)
+        self._flow = FlowController(config.window_size,
+                                    config.max_messages_per_token)
+        self._last_token: Optional[Token] = None
+        self._last_accepted_stamp: Tuple[int, int] = (-1, -1)
+        self._last_token_accept_time: Optional[float] = None
+        self._prev_token_aru: SeqNum = 0
+        self._stable_seq: SeqNum = 0
+
+        # ----- timers -----
+        self._token_retrans_timer = None
+        self._token_loss_timer = None
+        self._join_resend_timer = None
+        self._consensus_timer = None
+        self._presence_timer = None
+
+        # ----- gather state -----
+        self._proc_set: Set[NodeId] = {node_id}
+        self._fail_set: Set[NodeId] = set()
+        self._heard: Set[NodeId] = {node_id}
+        self._last_join_sets: Dict[NodeId, Tuple[FrozenSet[NodeId], FrozenSet[NodeId]]] = {}
+        self._highest_ring_seq: int = 0
+
+        # ----- commit / recovery state -----
+        self._commit_token: Optional[CommitToken] = None
+        self._commit_stamp_seen: Tuple[int, int] = (-1, -1)
+        self._pending_membership: Optional[Membership] = None
+        self._old_ring: Optional[RingId] = None
+        self._old_membership: Optional[Membership] = None
+        self._old_buffer: Optional[ReceiveBuffer] = None
+        self._old_delivered: SeqNum = 0
+        self._old_reassembler: Optional[Reassembler] = None
+        self._recovery_pending: List[DataPacket] = []
+        self._recovery_reassembler = Reassembler()
+        #: True once this node voted "done" on the recovery token.  From
+        #: that moment other members may complete the installation, so the
+        #: new ring may no longer be silently abandoned (EVS safety).
+        self._voted_done = False
+        #: Highest new-ring sequence whose ENCAPSULATED chunks were absorbed.
+        self._recovery_absorbed: SeqNum = 0
+        #: Nodes whose joins accused us of failure, with ignore-until times.
+        self._quarantine: Dict[NodeId, float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def start(self, initial_members: Optional[Sequence[NodeId]] = None) -> None:
+        """Bring the node up.
+
+        With ``initial_members`` the ring is pre-installed (the usual way to
+        boot a whole simulated cluster at once; the representative injects
+        the first token).  Without it the node boots as a singleton and
+        discovers peers through the membership protocol.
+        """
+        if self._started:
+            return
+        self._started = True
+        if initial_members is None:
+            self._enter_gather("boot")
+            return
+        members = tuple(sorted(initial_members))
+        if self.node_id not in members:
+            raise NotMemberError(
+                f"node {self.node_id} not in initial membership {members}")
+        ring = RingId(seq=4, representative=min(members))
+        self._install_ring(ring, members)
+        if self.node_id == ring.representative:
+            token = Token(ring_id=ring, aru_id=ring.representative)
+            self._last_token = token
+            # Inject the first token as if received from the predecessor.
+            self.runtime.set_timer(0.0, self.on_token, token, 0)
+        self._restart_token_loss_timer()
+
+    def stop(self) -> None:
+        """Tear the engine down: cancel every timer.
+
+        Used when a node's incarnation is abandoned (crash + restart).  No
+        further events can reach a stopped engine — its network attachments
+        are gone and all self-rescheduling timers are cancelled here.
+        """
+        self._cancel_token_retrans_timer()
+        self._cancel_token_loss_timer()
+        self._cancel_membership_timers()
+        if self._presence_timer is not None:
+            self._presence_timer.cancel()
+            self._presence_timer = None
+
+    def submit(self, payload: bytes) -> None:
+        """Queue an application message for totally ordered broadcast."""
+        self.send_queue.enqueue(bytes(payload))
+        self.stats.msgs_submitted += 1
+
+    def try_submit(self, payload: bytes) -> bool:
+        """Like :meth:`submit` but returns False instead of raising when full."""
+        if not self.send_queue.try_enqueue(bytes(payload)):
+            return False
+        self.stats.msgs_submitted += 1
+        return True
+
+    @property
+    def my_aru(self) -> SeqNum:
+        """All-received-up-to on the current ring (used by passive RRP)."""
+        return self.recv_buffer.my_aru
+
+    @property
+    def stable_seq(self) -> SeqNum:
+        """Highest sequence known received by every member (safe watermark)."""
+        return self._stable_seq
+
+    def has_gaps_up_to(self, seq: SeqNum) -> bool:
+        """``anyMessagesMissing()`` of the paper's Figure 4."""
+        return self.recv_buffer.has_gaps_up_to(seq)
+
+    def is_duplicate_data(self, packet: DataPacket) -> bool:
+        """Whether ``packet`` would be discarded as already-received.
+
+        Used by the CPU cost model: duplicates are dropped early and cost
+        less than a full protocol-stack traversal.
+        """
+        buffer = self._buffer_for_ring(packet.ring_id)
+        return buffer is not None and buffer.has(packet.seq)
+
+    # ------------------------------------------------------------------
+    # receive entry points (called by the RRP layer below)
+    # ------------------------------------------------------------------
+
+    def on_data(self, packet: DataPacket, network: int = 0) -> None:
+        """A data packet arrived (possibly a duplicate or a retransmission)."""
+        self.stats.packets_received += 1
+        buffer = self._buffer_for_ring(packet.ring_id)
+        if buffer is None:
+            # Traffic from a ring we are not on.  If its sender is not a
+            # member of our ring, another ring is alive on these networks:
+            # start the membership protocol to merge (Totem SRP's "foreign
+            # message" rule).  Idle rings exchange no broadcasts, so merge
+            # detection rides on data traffic.
+            if (self.state is SrpState.OPERATIONAL
+                    and packet.sender not in self.membership):
+                self._enter_gather(f"foreign message from {packet.sender}")
+            return
+        if not buffer.insert(packet):
+            self.stats.duplicate_packets += 1
+            return
+        if buffer is self.recv_buffer:
+            if (self._last_token is not None
+                    and packet.seq > self._last_token.seq):
+                # Evidence the successor received our token (paper §2).
+                self._cancel_token_retrans_timer()
+            if self.state is SrpState.RECOVERY:
+                self._absorb_recovery_progress()
+            else:
+                self._try_deliver()
+        else:
+            # A straggler for the previous ring while we are re-forming:
+            # keep it (it reduces recovery work) and deliver what it unblocks.
+            if self.state is not SrpState.RECOVERY:
+                self._try_deliver()
+
+    def on_token(self, token: Token, network: int = 0) -> None:
+        """The regular token arrived (the RRP has already merged copies)."""
+        if token.ring_id != self.ring_id:
+            return
+        if self.state not in (SrpState.OPERATIONAL, SrpState.RECOVERY):
+            return
+        stamp = token.stamp
+        if stamp <= self._last_accepted_stamp:
+            self.stats.duplicate_tokens += 1
+            return
+        self._last_accepted_stamp = stamp
+        self.stats.tokens_accepted += 1
+        now = self.runtime.now()
+        if self._last_token_accept_time is not None:
+            rotation = now - self._last_token_accept_time
+            self.stats.rotation_time_total += rotation
+            self.stats.rotation_count += 1
+            if rotation > self.stats.rotation_time_max:
+                self.stats.rotation_time_max = rotation
+        self._last_token_accept_time = now
+        self._cancel_token_retrans_timer()
+        self._cancel_token_loss_timer()
+
+        token = token.copy()
+        self._service_retransmissions(token)
+        self._update_aru(token)
+        self._request_missing(token)
+        if self.state is SrpState.RECOVERY:
+            self._recovery_token_step(token)
+        if self.state is not SrpState.RECOVERY:
+            # OPERATIONAL — possibly just transitioned by the recovery step.
+            self._broadcast_new_messages(token)
+            if token.done_count < 2 * len(self.membership):
+                token.done_count += 1
+        self._update_stability(token)
+        if self.node_id == self.ring_id.representative:
+            token.rotation += 1
+        self._forward_token(token)
+
+    def on_join(self, join: JoinMessage, network: int = 0) -> None:
+        """A membership join message arrived."""
+        self._highest_ring_seq = max(self._highest_ring_seq, join.ring_seq)
+        accuses_me = self.node_id in join.fail_set
+        now = self.runtime.now()
+        if accuses_me:
+            # A node that cannot hear us cannot be on a ring with us until
+            # it heals; quarantine it so its gather restarts (whose fresh,
+            # briefly accusation-free joins look innocent) neither thrash
+            # an operational ring nor vote in a gather.
+            self._quarantine[join.sender] = (
+                now + self.config.rejoin_quarantine)
+        if self.state is SrpState.OPERATIONAL:
+            stale = (join.sender in self.membership
+                     and join.proc_set == frozenset(self.membership.members)
+                     and join.ring_seq < self.ring_id.seq)
+            if stale:
+                return
+            if join.sender not in self.membership:
+                if accuses_me:
+                    return
+                if self._quarantine.get(join.sender, 0.0) > now:
+                    return
+            self._enter_gather(f"join from {join.sender}")
+        elif self.state in (SrpState.COMMIT, SrpState.RECOVERY):
+            commit = self._commit_token
+            pending_seq = commit.ring_id.seq if commit else self.ring_id.seq
+            pending_members = commit.members if commit else ()
+            if accuses_me:
+                if join.sender not in pending_members:
+                    return
+                # A member of the ring being formed cannot hear us: that
+                # ring can never complete — abandon it and re-gather with
+                # the accusation applied below.
+                self._enter_gather(
+                    f"accusation from {join.sender} during {self.state.value}")
+            elif join.ring_seq >= pending_seq:
+                self._enter_gather(f"join from {join.sender} during {self.state.value}")
+            else:
+                return
+        # GATHER (possibly just entered).
+        if accuses_me:
+            # Mutual accusation (as in Totem/corosync): the sender claims it
+            # cannot hear us, so from our side *it* is the faulty one.  Do
+            # not adopt its other accusations — a deaf node fails everyone.
+            self._proc_set |= join.proc_set
+            if join.sender not in self._fail_set:
+                self._fail_set.add(join.sender)
+                self._heard.discard(join.sender)
+                self._last_join_sets.pop(join.sender, None)
+                self._broadcast_join()
+                self._check_consensus()
+            return
+        if self._quarantine.get(join.sender, 0.0) > now:
+            # Recently accused us of failure; until the quarantine expires
+            # its votes are not trustworthy (it may still be deaf).
+            return
+        # Normal merge: the sender is heard, so it cannot be failed, and
+        # accusations against nodes we ourselves hear are not adopted.
+        self._heard.add(join.sender)
+        self._fail_set.discard(join.sender)
+        adopted_fail = join.fail_set - {self.node_id} - self._heard
+        grew = not (join.proc_set <= self._proc_set
+                    and adopted_fail <= self._fail_set)
+        self._proc_set |= join.proc_set
+        self._fail_set |= adopted_fail
+        self._last_join_sets[join.sender] = (join.proc_set, join.fail_set)
+        if grew:
+            self._broadcast_join()
+        self._check_consensus()
+
+    def on_commit_token(self, commit: CommitToken, network: int = 0) -> None:
+        """A membership commit token arrived."""
+        if self.node_id not in commit.members:
+            return
+        if commit.ring_id.seq < self.ring_id.seq:
+            return
+        if commit.ring_id.seq == self.ring_id.seq and self.state is SrpState.OPERATIONAL:
+            return
+        stamp = (commit.ring_id.seq, commit.rotation)
+        if stamp <= self._commit_stamp_seen:
+            return  # retransmission
+        self._commit_stamp_seen = stamp
+        self._highest_ring_seq = max(self._highest_ring_seq, commit.ring_id.seq)
+        commit = commit.copy()
+        self._cancel_membership_timers()
+        self._cancel_token_loss_timer()
+
+        is_representative = commit.ring_id.representative == self.node_id
+        if commit.rotation == 0:
+            if is_representative:
+                # First pass complete: every member's info collected.
+                commit.rotation = 1
+                self._prepare_recovery(commit)
+                self._forward_commit_token(commit)
+            else:
+                commit.info[self.node_id] = self._my_member_info()
+                self.state = SrpState.COMMIT
+                self._commit_token = commit
+                self._forward_commit_token(commit)
+        elif commit.rotation == 1:
+            if is_representative:
+                if (self._pending_membership is None
+                        or self.ring_id != commit.ring_id):
+                    # We never saw the first pass return (possible after a
+                    # local re-gather raced a retransmission); the token
+                    # carries the full picture, so prepare from it.
+                    self._prepare_recovery(commit)
+                # Second pass complete: start the new ring's regular token.
+                token = Token(ring_id=commit.ring_id,
+                              aru_id=commit.ring_id.representative)
+                self._last_token = token
+                self.stats.tokens_sent += 1
+                self.transport.send_token(
+                    token, self._pending_successor())
+                self._restart_token_retrans_timer()
+                self._restart_token_loss_timer()
+            else:
+                self._prepare_recovery(commit)
+                self._forward_commit_token(commit)
+
+    # ------------------------------------------------------------------
+    # operational internals
+    # ------------------------------------------------------------------
+
+    def _buffer_for_ring(self, ring_id: RingId) -> Optional[ReceiveBuffer]:
+        if ring_id == self.ring_id:
+            return self.recv_buffer
+        if self._old_ring is not None and ring_id == self._old_ring:
+            return self._old_buffer
+        return None
+
+    def _service_retransmissions(self, token: Token) -> None:
+        """Rebroadcast requested packets we hold; drop served/stale requests."""
+        if not token.rtr:
+            return
+        remaining: List[SeqNum] = []
+        for seq in token.rtr:
+            packet = self.recv_buffer.get(seq)
+            if packet is not None:
+                self.transport.broadcast_data(packet)
+                self.stats.retransmissions_served += 1
+            elif seq <= self._stable_seq or seq <= self.recv_buffer.gc_floor:
+                continue  # already stable everywhere; request is moot
+            else:
+                remaining.append(seq)
+        token.rtr = remaining
+
+    def _update_aru(self, token: Token) -> None:
+        my_aru = self.recv_buffer.my_aru
+        if my_aru < token.aru:
+            token.aru = my_aru
+            token.aru_id = self.node_id
+        elif token.aru_id == self.node_id:
+            token.aru = my_aru
+        if token.aru > token.seq:
+            token.aru = token.seq
+
+    def _request_missing(self, token: Token) -> None:
+        if not self.recv_buffer.has_gaps_up_to(token.seq):
+            return
+        present = set(token.rtr)
+        for seq in self.recv_buffer.missing_up_to(token.seq):
+            if len(token.rtr) >= TOKEN_MAX_RTR:
+                break
+            if seq not in present:
+                token.rtr.append(seq)
+                present.add(seq)
+                self.stats.retransmission_requests += 1
+
+    def _broadcast_new_messages(self, token: Token) -> None:
+        allowance = self._flow.allowance(token)
+        sent = 0
+        while sent < allowance:
+            chunks = self._packer.next_packet_chunks()
+            if not chunks:
+                break
+            token.seq += 1
+            packet = DataPacket(sender=self.node_id, ring_id=self.ring_id,
+                                seq=token.seq, chunks=tuple(chunks))
+            self.recv_buffer.insert(packet)
+            self.transport.broadcast_data(packet)
+            self.stats.packets_broadcast += 1
+            sent += 1
+        self._flow.update(token, sent, backlog=self._packer.backlog())
+        if sent:
+            self._try_deliver()
+
+    def _update_stability(self, token: Token) -> None:
+        stable = min(self._prev_token_aru, token.aru)
+        if stable > self._stable_seq:
+            self._stable_seq = stable
+            if self.config.safe_delivery:
+                self._try_deliver()
+            # Collect only what is both stable everywhere AND already
+            # delivered here.  During recovery delivery is deferred until
+            # the configuration change, so nothing may be collected yet.
+            self.recv_buffer.gc_below(
+                min(self._stable_seq, self._delivered_seq))
+        self._prev_token_aru = token.aru
+
+    def _forward_token(self, token: Token) -> None:
+        self._last_token = token
+        dest = self._current_successor()
+        self.stats.tokens_sent += 1
+        self.transport.send_token(token, dest)
+        self._restart_token_retrans_timer()
+        self._restart_token_loss_timer()
+
+    def _try_deliver(self) -> None:
+        """Deliver contiguous packets (agreed order; safe order if configured)."""
+        limit = (self._stable_seq if self.config.safe_delivery
+                 else self.recv_buffer.my_aru)
+        while self._delivered_seq < limit:
+            seq = self._delivered_seq + 1
+            packet = self.recv_buffer.get(seq)
+            if packet is None:
+                break
+            self._delivered_seq = seq
+            self._deliver_packet_chunks(packet, self._reassembler,
+                                        safe=seq <= self._stable_seq,
+                                        config_id=self.ring_id)
+
+    def _deliver_packet_chunks(self, packet: DataPacket,
+                               reassembler: Reassembler, safe: bool,
+                               config_id: Optional[RingId] = None) -> None:
+        for chunk in packet.chunks:
+            if chunk.kind is not ChunkKind.APP:
+                continue  # recovery chunks were absorbed on receipt
+            payload = reassembler.feed(packet.sender, chunk)
+            if payload is None:
+                continue
+            self.stats.msgs_delivered += 1
+            self.stats.bytes_delivered += len(payload)
+            self.on_deliver(DeliveredMessage(
+                sender=packet.sender, seq=packet.seq, payload=payload,
+                ring_id=packet.ring_id, safe=safe,
+                delivered_in=config_id or packet.ring_id))
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _restart_token_retrans_timer(self) -> None:
+        self._cancel_token_retrans_timer()
+        self._token_retrans_timer = self.runtime.set_timer(
+            self.config.token_retransmit_interval, self._on_token_retrans_timeout)
+
+    def _cancel_token_retrans_timer(self) -> None:
+        if self._token_retrans_timer is not None:
+            self._token_retrans_timer.cancel()
+            self._token_retrans_timer = None
+
+    def _on_token_retrans_timeout(self) -> None:
+        self._token_retrans_timer = None
+        if self.state not in (SrpState.OPERATIONAL, SrpState.RECOVERY):
+            return
+        if self._last_token is None:
+            return
+        self.stats.token_retransmits += 1
+        self.transport.send_token(self._last_token,
+                                  self._current_successor())
+        self._restart_token_retrans_timer()
+
+    def _restart_token_loss_timer(self) -> None:
+        self._cancel_token_loss_timer()
+        self._token_loss_timer = self.runtime.set_timer(
+            self.config.token_loss_timeout, self._on_token_loss)
+
+    def _cancel_token_loss_timer(self) -> None:
+        if self._token_loss_timer is not None:
+            self._token_loss_timer.cancel()
+            self._token_loss_timer = None
+
+    def _on_token_loss(self) -> None:
+        self._token_loss_timer = None
+        self.stats.token_loss_events += 1
+        self.trace("token-loss",
+                   f"no token for {self.config.token_loss_timeout}s "
+                   f"in state {self.state.value}")
+        self._enter_gather("token loss")
+
+    def _cancel_membership_timers(self) -> None:
+        if self._join_resend_timer is not None:
+            self._join_resend_timer.cancel()
+            self._join_resend_timer = None
+        if self._consensus_timer is not None:
+            self._consensus_timer.cancel()
+            self._consensus_timer = None
+
+    # ------------------------------------------------------------------
+    # presence beacons (merge liveness for idle rings)
+    # ------------------------------------------------------------------
+
+    def _schedule_presence_beacon(self) -> None:
+        if self._presence_timer is not None:
+            self._presence_timer.cancel()
+            self._presence_timer = None
+        if self.config.presence_interval <= 0:
+            return
+        self._presence_timer = self.runtime.set_timer(
+            self.config.presence_interval, self._on_presence_beacon)
+
+    def _on_presence_beacon(self) -> None:
+        self._presence_timer = None
+        if (self.state is not SrpState.OPERATIONAL
+                or self.node_id != self.ring_id.representative):
+            return
+        # A join one sequence below the current ring: our own members filter
+        # it as stale; nodes of any *other* ring see a foreign join and
+        # start the membership protocol, which is exactly the point.
+        beacon = JoinMessage(
+            sender=self.node_id,
+            proc_set=frozenset(self.membership.members),
+            fail_set=frozenset(),
+            ring_seq=max(0, self.ring_id.seq - 1))
+        self.transport.broadcast_join(beacon)
+        self._schedule_presence_beacon()
+
+    def _current_successor(self) -> NodeId:
+        if self.state is SrpState.RECOVERY and self._pending_membership:
+            return self._pending_membership.successor_of(self.node_id)
+        return self.membership.successor_of(self.node_id)
+
+    def _pending_successor(self) -> NodeId:
+        assert self._pending_membership is not None
+        return self._pending_membership.successor_of(self.node_id)
+
+    # ------------------------------------------------------------------
+    # membership: gather
+    # ------------------------------------------------------------------
+
+    def _enter_gather(self, reason: str) -> None:
+        if (self.state is SrpState.RECOVERY and self._voted_done
+                and self._pending_membership is not None):
+            # We voted "done" on the recovery token, so other members may
+            # already have installed the new ring and delivered in it.
+            # Abandoning it now would silently drop messages they delivered
+            # (an extended-virtual-synchrony violation); we hold the same
+            # data, so complete the installation first, then re-gather.
+            # (Conversely, if we never voted done, the done-count can never
+            # have completed a full rotation and nobody installed.)
+            self.trace("recovery", "completing voted-done recovery before gather")
+            self._complete_recovery()
+        self.stats.gathers_entered += 1
+        self.trace("gather", reason)
+        self._cancel_token_retrans_timer()
+        self._cancel_token_loss_timer()
+        self._cancel_membership_timers()
+        # Let the replication layer re-probe networks it marked faulty:
+        # membership traffic needs every path that might still work.
+        trouble_hook = getattr(self.transport, "on_membership_trouble", None)
+        if trouble_hook is not None:
+            trouble_hook()
+        base: Set[NodeId] = {self.node_id} | set(self.membership.members)
+        if self._pending_membership is not None:
+            base |= set(self._pending_membership.members)
+        if self.state is SrpState.GATHER:
+            base |= self._proc_set
+        self.state = SrpState.GATHER
+        self._proc_set = base
+        self._fail_set = set()
+        self._heard = {self.node_id}
+        self._last_join_sets = {}
+        self._broadcast_join()
+        self._join_resend_timer = self.runtime.set_timer(
+            self.config.join_timeout, self._on_join_resend)
+        self._consensus_timer = self.runtime.set_timer(
+            self.config.consensus_timeout, self._on_consensus_timeout)
+
+    def _broadcast_join(self) -> None:
+        join = JoinMessage(
+            sender=self.node_id,
+            proc_set=frozenset(self._proc_set),
+            fail_set=frozenset(self._fail_set),
+            ring_seq=max(self.ring_id.seq, self._highest_ring_seq))
+        self.transport.broadcast_join(join)
+
+    def _on_join_resend(self) -> None:
+        self._join_resend_timer = None
+        if self.state is not SrpState.GATHER:
+            return
+        self._broadcast_join()
+        self._join_resend_timer = self.runtime.set_timer(
+            self.config.join_timeout, self._on_join_resend)
+
+    def _on_consensus_timeout(self) -> None:
+        self._consensus_timer = None
+        if self.state is not SrpState.GATHER:
+            return
+        silent = self._proc_set - self._heard - {self.node_id}
+        if silent:
+            self._fail_set |= silent
+            self._broadcast_join()
+        # Heard-set is a sliding window: members must re-join every period
+        # (joins are resent every join_timeout) or be declared failed next
+        # time round.  This is also what detects a representative that died
+        # after consensus but before sending the commit token.
+        self._heard = {self.node_id}
+        self._check_consensus()
+        self._consensus_timer = self.runtime.set_timer(
+            self.config.consensus_timeout, self._on_consensus_timeout)
+
+    def _check_consensus(self) -> None:
+        if self.state is not SrpState.GATHER:
+            return
+        candidates = self._proc_set - self._fail_set
+        if self.node_id not in candidates:
+            candidates = candidates | {self.node_id}
+        my_view = (frozenset(self._proc_set), frozenset(self._fail_set))
+        for node in candidates:
+            if node == self.node_id:
+                continue
+            if self._last_join_sets.get(node) != my_view:
+                return
+        if self.node_id == min(candidates):
+            self._form_ring(candidates)
+
+    def _form_ring(self, members: Set[NodeId]) -> None:
+        """We are the representative: issue the commit token (first pass)."""
+        self.trace("form-ring", f"consensus on {sorted(members)}")
+        self._cancel_membership_timers()
+        new_seq = max(self._highest_ring_seq, self.ring_id.seq) + 4
+        ring = RingId(seq=new_seq, representative=self.node_id)
+        commit = CommitToken(ring_id=ring, members=tuple(sorted(members)),
+                             info={self.node_id: self._my_member_info()},
+                             rotation=0)
+        self.state = SrpState.COMMIT
+        self._commit_token = commit
+        # The commit token will come back to us at rotation 0; accept it.
+        self._commit_stamp_seen = (ring.seq, -1)
+        self._forward_commit_token(commit)
+
+    def _my_member_info(self) -> MemberInfo:
+        if self._old_buffer is not None and self._old_ring is not None:
+            # A previous recovery attempt failed; report the original ring.
+            return MemberInfo(old_ring_id=self._old_ring,
+                              my_aru=self._old_buffer.my_aru,
+                              high_seq=self._old_buffer.high_seq)
+        return MemberInfo(old_ring_id=self.ring_id,
+                          my_aru=self.recv_buffer.my_aru,
+                          high_seq=self.recv_buffer.high_seq)
+
+    def _forward_commit_token(self, commit: CommitToken) -> None:
+        dest = commit.successor_of(self.node_id)
+        self.transport.send_commit_token(commit, dest)
+        self._restart_token_loss_timer()
+
+    # ------------------------------------------------------------------
+    # membership: recovery
+    # ------------------------------------------------------------------
+
+    def _prepare_recovery(self, commit: CommitToken) -> None:
+        """Rotation-1 commit token: install new-ring context, plan recovery."""
+        self._commit_token = commit
+        new_members = Membership(commit.ring_id, commit.members)
+
+        if self._old_buffer is None:
+            # First attempt since we were last operational: the current
+            # ring becomes the "old ring" whose messages need recovering.
+            self._old_ring = self.ring_id
+            self._old_membership = self.membership
+            self._old_buffer = self.recv_buffer
+            self._old_delivered = self._delivered_seq
+            self._old_reassembler = self._reassembler
+
+        self._recovery_pending = self._plan_recovery(commit)
+        self._recovery_reassembler = Reassembler()
+        self._voted_done = False
+        self._recovery_absorbed = 0
+        self.trace("recovery",
+                   f"ring {commit.ring_id.seq} members {list(commit.members)}; "
+                   f"{len(self._recovery_pending)} old packet(s) to rebroadcast")
+
+        # Fresh context for the new ring.
+        self.ring_id = commit.ring_id
+        self._pending_membership = new_members
+        self.recv_buffer = ReceiveBuffer()
+        self._delivered_seq = 0
+        self._reassembler = Reassembler()
+        self._flow.reset()
+        self._last_token = None
+        self._last_accepted_stamp = (-1, -1)
+        self._prev_token_aru = 0
+        self._stable_seq = 0
+        self.state = SrpState.RECOVERY
+        self._restart_token_loss_timer()
+
+    def _plan_recovery(self, commit: CommitToken) -> List[DataPacket]:
+        """Which old-ring packets must *this node* rebroadcast (encapsulated).
+
+        For each sequence in the old ring's recovery range, the member with
+        the smallest id whose reported aru covers it is the designated
+        retransmitter (it provably holds the packet).  Sequences beyond every
+        member's aru fall back to "every holder rebroadcasts" — duplicates
+        are filtered by sequence number as usual.
+        """
+        assert self._old_buffer is not None and self._old_ring is not None
+        same_old = [n for n in commit.members
+                    if n in commit.info
+                    and commit.info[n].old_ring_id == self._old_ring]
+        if not same_old:
+            return []
+        low = min(commit.info[n].my_aru for n in same_old)
+        high = max(commit.info[n].high_seq for n in same_old)
+        pending: List[DataPacket] = []
+        for seq in range(low + 1, high + 1):
+            packet = self._old_buffer.get(seq)
+            if packet is None:
+                continue
+            holders = [n for n in same_old if commit.info[n].my_aru >= seq]
+            designated = min(holders) if holders else None
+            if designated == self.node_id or designated is None:
+                pending.append(packet)
+        return pending
+
+    def _recovery_token_step(self, token: Token) -> None:
+        """Our part of a recovery-state token visit (Totem SRP recovery)."""
+        allowance = self._flow.allowance(token)
+        sent = 0
+        while sent < allowance and self._recovery_pending:
+            old_packet = self._recovery_pending.pop(0)
+            for chunks in self._encapsulate(old_packet):
+                token.seq += 1
+                packet = DataPacket(sender=self.node_id, ring_id=self.ring_id,
+                                    seq=token.seq, chunks=chunks)
+                self.recv_buffer.insert(packet)
+                self.transport.broadcast_data(packet)
+                self.stats.recovery_packets += 1
+                sent += 1
+        self._flow.update(token, sent, backlog=len(self._recovery_pending))
+        self._absorb_recovery_progress()
+
+        done = (not self._recovery_pending
+                and self.recv_buffer.my_aru == token.seq)
+        if done:
+            token.done_count += 1
+            self._voted_done = True
+        else:
+            token.done_count = 0
+        assert self._pending_membership is not None
+        if done and token.done_count >= len(self._pending_membership):
+            self._complete_recovery()
+
+    def _encapsulate(self, old_packet: DataPacket) -> List[Tuple[Chunk, ...]]:
+        """Encode an old-ring packet into ENCAPSULATED chunks (fragmenting)."""
+        blob = encode_packet(old_packet)
+        room = self.config.max_packet_payload - CHUNK_HEADER_BYTES
+        pieces: List[Tuple[Chunk, ...]] = []
+        offset = 0
+        first = True
+        while offset < len(blob):
+            piece = blob[offset:offset + room]
+            offset += len(piece)
+            flags = 0
+            if first:
+                flags |= int(ChunkFlags.FIRST)
+                first = False
+            if offset >= len(blob):
+                flags |= int(ChunkFlags.LAST)
+            pieces.append((Chunk(kind=ChunkKind.ENCAPSULATED,
+                                 msg_id=old_packet.seq & 0xFFFFFFFF,
+                                 flags=flags, data=piece),))
+        return pieces
+
+    def _absorb_recovery_progress(self) -> None:
+        """Decode ENCAPSULATED chunks into the old ring's receive buffer.
+
+        Absorption walks the new ring's *sequence* order (not arrival
+        order): an encapsulated old packet may be fragmented across several
+        new-ring packets, and feeding a retransmitted first fragment after
+        its second would orphan the message in the reassembler while the
+        aru — and hence the done vote — still completed.
+        """
+        while True:
+            packet = self.recv_buffer.get(self._recovery_absorbed + 1)
+            if packet is None:
+                return
+            self._recovery_absorbed += 1
+            for chunk in packet.chunks:
+                if chunk.kind is not ChunkKind.ENCAPSULATED:
+                    continue
+                blob = self._recovery_reassembler.feed(packet.sender, chunk)
+                if blob is None:
+                    continue
+                old_packet = decode_packet(blob)
+                if (isinstance(old_packet, DataPacket)
+                        and self._old_buffer is not None):
+                    self._old_buffer.insert(old_packet)
+
+    def _complete_recovery(self) -> None:
+        """All members have everything: deliver EVS events and go operational."""
+        assert self._pending_membership is not None
+        new_members = self._pending_membership
+
+        if (self._old_buffer is not None and self._old_ring is not None
+                and self._old_membership is not None
+                and self._old_reassembler is not None):
+            # 1. Messages contiguous in the old ring: agreed order, old config.
+            self._deliver_old_prefix()
+            # 2. Transitional configuration: the old-ring members who survive.
+            survivors = tuple(n for n in new_members.members
+                              if n in self._old_membership)
+            self.on_config_change(ConfigurationChange(
+                membership=Membership(new_members.ring_id, survivors),
+                transitional=True))
+            # 3. Remaining recovered old-ring messages, gaps skipped
+            #    identically everywhere (all survivors hold the same set).
+            self._deliver_old_remainder()
+        self._old_ring = None
+        self._old_membership = None
+        self._old_buffer = None
+        self._old_reassembler = None
+        self._old_delivered = 0
+        self._recovery_pending = []
+
+        # 4. The new regular configuration.
+        self._install_ring(new_members.ring_id, new_members.members)
+        # Deliver any new-ring packets that piled up during recovery.
+        self._try_deliver()
+
+    def _deliver_old_prefix(self) -> None:
+        assert self._old_buffer is not None and self._old_reassembler is not None
+        while True:
+            seq = self._old_delivered + 1
+            packet = self._old_buffer.get(seq)
+            if packet is None:
+                break
+            self._old_delivered = seq
+            # Contiguous old-ring messages are agreed in the old config.
+            self._deliver_packet_chunks(packet, self._old_reassembler,
+                                        safe=False, config_id=self._old_ring)
+
+    def _deliver_old_remainder(self) -> None:
+        assert self._old_buffer is not None and self._old_reassembler is not None
+        for seq in range(self._old_delivered + 1,
+                         self._old_buffer.high_seq + 1):
+            packet = self._old_buffer.get(seq)
+            if packet is None:
+                continue  # nobody on the new ring holds it; skip consistently
+            # Recovered messages are delivered in the *transitional*
+            # configuration, which carries the new ring's identity.
+            self._deliver_packet_chunks(packet, self._old_reassembler,
+                                        safe=False, config_id=self.ring_id)
+        self._old_delivered = self._old_buffer.high_seq
+
+    def _install_ring(self, ring_id: RingId, members: Tuple[NodeId, ...]) -> None:
+        self.ring_id = ring_id
+        self.membership = Membership(ring_id, members)
+        self._pending_membership = None
+        self._highest_ring_seq = max(self._highest_ring_seq, ring_id.seq)
+        self.state = SrpState.OPERATIONAL
+        self.stats.membership_changes += 1
+        self.trace("ring-installed",
+                   f"ring {ring_id.seq} members {list(members)}")
+        self.on_config_change(ConfigurationChange(
+            membership=self.membership, transitional=False))
+        self._restart_token_loss_timer()
+        if self.node_id == ring_id.representative:
+            self._schedule_presence_beacon()

@@ -1,0 +1,45 @@
+"""Token-based flow control (paper §2; Totem SRP).
+
+The token carries ``fcc`` — the number of messages broadcast by all nodes
+during the last rotation — and ``backlog`` — the sum of senders' queued
+messages.  A node may broadcast at most
+
+    min(max_messages_per_token, window_size - (fcc - my last contribution))
+
+messages per visit, so the ring as a whole never exceeds ``window_size``
+broadcasts per rotation.  This strict schedule is what lets Totem drive an
+Ethernet to ~90 % utilisation without collisions.
+"""
+
+from __future__ import annotations
+
+from ..wire.packets import Token
+
+
+class FlowController:
+    """Per-node flow-control state (reset on each new ring)."""
+
+    def __init__(self, window_size: int, max_messages_per_token: int) -> None:
+        self.window_size = window_size
+        self.max_messages_per_token = max_messages_per_token
+        #: Messages this node broadcast on its previous token visit.
+        self._prev_sent = 0
+        #: Backlog this node reported on its previous visit.
+        self._prev_backlog = 0
+
+    def reset(self) -> None:
+        self._prev_sent = 0
+        self._prev_backlog = 0
+
+    def allowance(self, token: Token) -> int:
+        """How many messages this node may broadcast on this visit."""
+        others = max(0, token.fcc - self._prev_sent)
+        return max(0, min(self.max_messages_per_token,
+                          self.window_size - others))
+
+    def update(self, token: Token, sent: int, backlog: int) -> None:
+        """Fold this visit's contribution into the token before forwarding."""
+        token.fcc = max(0, token.fcc - self._prev_sent) + sent
+        token.backlog = max(0, token.backlog - self._prev_backlog) + backlog
+        self._prev_sent = sent
+        self._prev_backlog = backlog

@@ -1,0 +1,137 @@
+"""Message packing and fragmentation (paper §8).
+
+The paper: "If several messages can fit into that space [the 1424-byte
+Ethernet payload], they are placed into a single packet by the message
+packing algorithm.  If a message is longer than 1424 bytes, Totem splits it
+up into multiple packets."  This is what produces the throughput peaks at
+700 and 1400 bytes in Figures 6-9.
+
+:class:`Packer` drains a :class:`~repro.srp.send_queue.SendQueue` into
+packets worth of chunks; :class:`Reassembler` is its inverse on the receive
+side.  Fragments of one message always travel in consecutive packets from
+the same sender, so the reassembler only needs (sender, msg_id) keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..types import NodeId
+from ..wire.packets import CHUNK_HEADER_BYTES, Chunk, ChunkFlags, ChunkKind
+from .send_queue import SendQueue
+
+
+class Packer:
+    """Builds packet payloads (chunk lists) from the send queue.
+
+    Packing policy: fill a packet greedily with whole messages; a message
+    larger than the packet budget is fragmented across consecutive packets.
+    A message that does not fit the *remaining* space of a non-empty packet
+    starts the next packet instead of being split (splitting small messages
+    would buy nothing and cost a reassembly).
+    """
+
+    def __init__(self, queue: SendQueue, max_payload: int,
+                 enable_packing: bool = True) -> None:
+        self._queue = queue
+        self._max_payload = max_payload
+        self._enable_packing = enable_packing
+        self._next_msg_id = 1
+        #: In-flight fragmentation state: (msg_id, remaining bytes, first_sent).
+        self._partial: Optional[Tuple[int, bytes, bool]] = None
+
+    @property
+    def max_payload(self) -> int:
+        return self._max_payload
+
+    def backlog(self) -> int:
+        """Messages still waiting (including a partially sent one)."""
+        return len(self._queue) + (1 if self._partial is not None else 0)
+
+    def has_pending(self) -> bool:
+        return self._partial is not None or len(self._queue) > 0
+
+    def next_packet_chunks(self) -> List[Chunk]:
+        """Chunks for one packet, or an empty list when nothing is pending."""
+        budget = self._max_payload
+        chunks: List[Chunk] = []
+
+        # Resume an in-flight fragmented message first: its fragments must be
+        # consecutive.
+        if self._partial is not None:
+            msg_id, remaining, first_sent = self._partial
+            room = budget - CHUNK_HEADER_BYTES
+            flags = 0 if first_sent else int(ChunkFlags.FIRST)
+            if len(remaining) <= room:
+                flags |= int(ChunkFlags.LAST)
+                chunks.append(Chunk(ChunkKind.APP, msg_id, flags, remaining))
+                self._partial = None
+                budget -= CHUNK_HEADER_BYTES + len(remaining)
+            else:
+                chunks.append(Chunk(ChunkKind.APP, msg_id, flags, remaining[:room]))
+                self._partial = (msg_id, remaining[room:], True)
+                return chunks  # packet is full
+
+        while True:
+            payload = self._queue.peek()
+            if payload is None:
+                break
+            need = CHUNK_HEADER_BYTES + len(payload)
+            if need <= budget:
+                self._queue.dequeue()
+                chunks.append(Chunk.whole(self._allocate_msg_id(), payload))
+                budget -= need
+                if not self._enable_packing:
+                    break
+                continue
+            if chunks:
+                break  # does not fit the remainder; start the next packet
+            # Message alone exceeds a whole packet: begin fragmenting it.
+            self._queue.dequeue()
+            msg_id = self._allocate_msg_id()
+            room = self._max_payload - CHUNK_HEADER_BYTES
+            chunks.append(Chunk(ChunkKind.APP, msg_id,
+                                int(ChunkFlags.FIRST), payload[:room]))
+            self._partial = (msg_id, payload[room:], True)
+            break
+        return chunks
+
+    def _allocate_msg_id(self) -> int:
+        msg_id = self._next_msg_id
+        self._next_msg_id = (self._next_msg_id + 1) & 0xFFFFFFFF or 1
+        return msg_id
+
+
+class Reassembler:
+    """Rebuilds application messages from chunks, per sending node.
+
+    ``feed`` is called with chunks in delivery (sequence) order; it returns
+    the completed payload when a LAST fragment closes a message, else None.
+    """
+
+    def __init__(self) -> None:
+        self._partial: Dict[Tuple[NodeId, int], List[bytes]] = {}
+
+    def feed(self, sender: NodeId, chunk: Chunk) -> Optional[bytes]:
+        if chunk.is_first and chunk.is_last:
+            return chunk.data
+        key = (sender, chunk.msg_id)
+        if chunk.is_first:
+            self._partial[key] = [chunk.data]
+            return None
+        fragments = self._partial.get(key)
+        if fragments is None:
+            # FIRST fragment was lost to a membership change; drop the tail.
+            return None
+        fragments.append(chunk.data)
+        if chunk.is_last:
+            del self._partial[key]
+            return b"".join(fragments)
+        return None
+
+    def pending_count(self) -> int:
+        return len(self._partial)
+
+    def clear(self) -> None:
+        """Discard partial messages (on a configuration change)."""
+        self._partial.clear()

@@ -1,0 +1,62 @@
+"""The application send queue (paper §2).
+
+Messages wait here until the node next holds the token; flow control decides
+how many are drained per token visit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import SendQueueFullError
+
+
+class SendQueue:
+    """Bounded FIFO of application payloads awaiting broadcast."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._queue: Deque[bytes] = deque()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self._capacity
+
+    def enqueue(self, payload: bytes) -> None:
+        """Append a message; raises :class:`SendQueueFullError` when full."""
+        if self.full:
+            raise SendQueueFullError(
+                f"send queue at capacity ({self._capacity} messages)")
+        self._queue.append(payload)
+        self._bytes += len(payload)
+
+    def try_enqueue(self, payload: bytes) -> bool:
+        """Best-effort enqueue; returns False instead of raising when full."""
+        if self.full:
+            return False
+        self.enqueue(payload)
+        return True
+
+    def dequeue(self) -> Optional[bytes]:
+        """Pop the oldest message, or None when empty."""
+        if not self._queue:
+            return None
+        payload = self._queue.popleft()
+        self._bytes -= len(payload)
+        return payload
+
+    def peek(self) -> Optional[bytes]:
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,16 @@
+"""Protocol flight recorder: bounded, structured event tracing.
+
+The simulator is deterministic, but *why* a run unfolded the way it did —
+which node started a gather and for what reason, when rings were installed,
+when tokens were declared lost — is buried in state machines.  The tracer
+records those protocol milestones in a bounded ring buffer per cluster, so
+tests and operators can ask "what happened?" after the fact.
+
+Every :class:`~repro.api.cluster.SimCluster` carries a tracer by default
+(the overhead is one tuple append per membership-level event; steady-state
+data flow is never traced).
+"""
+
+from .recorder import TraceEvent, Tracer
+
+__all__ = ["TraceEvent", "Tracer"]

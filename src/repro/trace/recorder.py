@@ -1,0 +1,78 @@
+"""The trace recorder and its event type."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol milestone."""
+
+    time: float
+    node: NodeId
+    category: str  # e.g. "membership", "token", "fault"
+    event: str     # e.g. "gather", "ring-installed"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" — {self.detail}" if self.detail else ""
+        return (f"[t={self.time:.6f}] node {self.node} "
+                f"{self.category}/{self.event}{detail}")
+
+
+class Tracer:
+    """A bounded buffer of :class:`TraceEvent` for one cluster."""
+
+    def __init__(self, now_fn: Callable[[], float],
+                 capacity: int = 50_000) -> None:
+        self._now_fn = now_fn
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.enabled = True
+
+    def emit(self, node: NodeId, category: str, event: str,
+             detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(
+            time=self._now_fn(), node=node, category=category,
+            event=event, detail=detail))
+
+    def bind(self, node: NodeId, category: str):
+        """A per-node, per-category emit function for engine hooks."""
+        def emit(event: str, detail: str = "") -> None:
+            self.emit(node, category, event, detail)
+        return emit
+
+    # ----- queries -----
+
+    def events(self, category: Optional[str] = None,
+               node: Optional[NodeId] = None,
+               event: Optional[str] = None) -> List[TraceEvent]:
+        out: Iterable[TraceEvent] = self._events
+        if category is not None:
+            out = (e for e in out if e.category == category)
+        if node is not None:
+            out = (e for e in out if e.node == node)
+        if event is not None:
+            out = (e for e in out if e.event == event)
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def tail(self, count: int = 50) -> List[TraceEvent]:
+        return list(self._events)[-count:]
+
+    def format(self, count: int = 50) -> str:
+        lines = [str(e) for e in self.tail(count)]
+        if self.dropped:
+            lines.insert(0, f"({self.dropped} earlier events dropped)")
+        return "\n".join(lines) if lines else "(no events)"

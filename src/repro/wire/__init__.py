@@ -1,0 +1,46 @@
+"""Wire formats for the Totem protocol family.
+
+Five packet types travel on the networks (paper §2, §5-§7 and the Totem SRP
+membership protocol):
+
+* :class:`DataPacket` — a sequenced broadcast carrying one or more packed
+  application-message chunks (or encapsulated old-ring messages during
+  recovery),
+* :class:`Token` — the regular circulating token,
+* :class:`JoinMessage` — membership gather-state broadcast,
+* :class:`CommitToken` — membership commit-state unicast token,
+* chunk framing shared by packing/fragmentation.
+
+The discrete-event simulator carries these objects directly (sizes come from
+``wire_size()``); the asyncio UDP transport serialises them with
+:mod:`repro.wire.codec`.
+"""
+
+from .packets import (
+    CHUNK_HEADER_BYTES,
+    Chunk,
+    ChunkKind,
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    MemberInfo,
+    PacketType,
+    Token,
+    packet_type_of,
+)
+from .codec import decode_packet, encode_packet
+
+__all__ = [
+    "Chunk",
+    "ChunkKind",
+    "CHUNK_HEADER_BYTES",
+    "CommitToken",
+    "DataPacket",
+    "JoinMessage",
+    "MemberInfo",
+    "PacketType",
+    "Token",
+    "packet_type_of",
+    "encode_packet",
+    "decode_packet",
+]

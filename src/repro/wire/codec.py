@@ -1,0 +1,200 @@
+"""Binary codec for Totem packets.
+
+Layout: a 4-byte common header (magic, version, packet type), a
+type-specific body, and a trailing CRC32 of everything before it.  The codec
+is used by the asyncio UDP transport and by fidelity tests; the simulator
+carries packet objects directly.
+
+All integers are big-endian.  Sequence numbers are 64-bit, node and ring
+identifiers 32-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Tuple, Union
+
+from ..errors import ChecksumError, CodecError
+from ..types import RingId
+from .packets import (
+    Chunk,
+    ChunkKind,
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    MemberInfo,
+    PacketType,
+    Token,
+)
+
+MAGIC = 0x746D  # "tm"
+VERSION = 1
+
+_HEADER = struct.Struct(">HBB")
+_RING = struct.Struct(">II")
+_DATA_FIXED = struct.Struct(">IQH")        # sender, seq, chunk_count
+_CHUNK_FIXED = struct.Struct(">BBIH")      # kind, flags, msg_id, len
+_TOKEN_FIXED = struct.Struct(">QQIIIIIH")  # seq aru aru_id fcc backlog rotation done rtr_count
+_JOIN_FIXED = struct.Struct(">IIHH")       # sender, ring_seq, proc_count, fail_count
+_COMMIT_FIXED = struct.Struct(">IHH")      # rotation, member_count, info_count
+_INFO_FIXED = struct.Struct(">IIIQQ")      # node, old_ring seq, old_ring rep, aru, high
+_CRC = struct.Struct(">I")
+
+Packet = Union[DataPacket, Token, JoinMessage, CommitToken]
+
+
+def _encode_ring(ring: RingId) -> bytes:
+    return _RING.pack(ring.seq, ring.representative)
+
+
+def _decode_ring(data: bytes, offset: int) -> Tuple[RingId, int]:
+    seq, rep = _RING.unpack_from(data, offset)
+    return RingId(seq=seq, representative=rep), offset + _RING.size
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """Serialise a packet object to bytes (with trailing CRC32)."""
+    ptype = packet.packet_type
+    parts = [_HEADER.pack(MAGIC, VERSION, int(ptype))]
+    if ptype is PacketType.DATA:
+        assert isinstance(packet, DataPacket)
+        parts.append(_encode_ring(packet.ring_id))
+        parts.append(_DATA_FIXED.pack(packet.sender, packet.seq, len(packet.chunks)))
+        for chunk in packet.chunks:
+            parts.append(_CHUNK_FIXED.pack(
+                int(chunk.kind), chunk.flags, chunk.msg_id, len(chunk.data)))
+            parts.append(chunk.data)
+    elif ptype is PacketType.TOKEN:
+        assert isinstance(packet, Token)
+        parts.append(_encode_ring(packet.ring_id))
+        parts.append(_TOKEN_FIXED.pack(
+            packet.seq, packet.aru, packet.aru_id, packet.fcc,
+            packet.backlog, packet.rotation, packet.done_count, len(packet.rtr)))
+        for seq in packet.rtr:
+            parts.append(struct.pack(">Q", seq))
+    elif ptype is PacketType.JOIN:
+        assert isinstance(packet, JoinMessage)
+        parts.append(_JOIN_FIXED.pack(
+            packet.sender, packet.ring_seq,
+            len(packet.proc_set), len(packet.fail_set)))
+        for node in sorted(packet.proc_set):
+            parts.append(struct.pack(">I", node))
+        for node in sorted(packet.fail_set):
+            parts.append(struct.pack(">I", node))
+    elif ptype is PacketType.COMMIT_TOKEN:
+        assert isinstance(packet, CommitToken)
+        parts.append(_encode_ring(packet.ring_id))
+        parts.append(_COMMIT_FIXED.pack(
+            packet.rotation, len(packet.members), len(packet.info)))
+        for node in packet.members:
+            parts.append(struct.pack(">I", node))
+        for node in sorted(packet.info):
+            info = packet.info[node]
+            parts.append(_INFO_FIXED.pack(
+                node, info.old_ring_id.seq, info.old_ring_id.representative,
+                info.my_aru, info.high_seq))
+    else:  # pragma: no cover - enum is exhaustive
+        raise CodecError(f"unknown packet type {ptype!r}")
+    body = b"".join(parts)
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_packet(data: bytes) -> Packet:
+    """Parse bytes into a packet object, verifying magic, version and CRC."""
+    if len(data) < _HEADER.size + _CRC.size:
+        raise CodecError(f"packet too short: {len(data)} bytes")
+    body, crc_bytes = data[:-_CRC.size], data[-_CRC.size:]
+    (expected_crc,) = _CRC.unpack(crc_bytes)
+    actual_crc = zlib.crc32(body)
+    if expected_crc != actual_crc:
+        raise ChecksumError(
+            f"CRC mismatch: expected {expected_crc:#x}, got {actual_crc:#x}")
+    magic, version, type_value = _HEADER.unpack_from(body, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise CodecError(f"unsupported version {version}")
+    try:
+        ptype = PacketType(type_value)
+    except ValueError as exc:
+        raise CodecError(f"unknown packet type {type_value}") from exc
+    offset = _HEADER.size
+    try:
+        if ptype is PacketType.DATA:
+            return _decode_data(body, offset)
+        if ptype is PacketType.TOKEN:
+            return _decode_token(body, offset)
+        if ptype is PacketType.JOIN:
+            return _decode_join(body, offset)
+        return _decode_commit(body, offset)
+    except (struct.error, IndexError, ValueError) as exc:
+        raise CodecError(f"truncated or malformed {ptype.name} packet") from exc
+
+
+def _decode_data(body: bytes, offset: int) -> DataPacket:
+    ring, offset = _decode_ring(body, offset)
+    sender, seq, chunk_count = _DATA_FIXED.unpack_from(body, offset)
+    offset += _DATA_FIXED.size
+    chunks = []
+    for _ in range(chunk_count):
+        kind, flags, msg_id, length = _CHUNK_FIXED.unpack_from(body, offset)
+        offset += _CHUNK_FIXED.size
+        payload = body[offset:offset + length]
+        if len(payload) != length:
+            raise CodecError("chunk data truncated")
+        offset += length
+        chunks.append(Chunk(kind=ChunkKind(kind), msg_id=msg_id,
+                            flags=flags, data=payload))
+    return DataPacket(sender=sender, ring_id=ring, seq=seq, chunks=tuple(chunks))
+
+
+def _decode_token(body: bytes, offset: int) -> Token:
+    ring, offset = _decode_ring(body, offset)
+    (seq, aru, aru_id, fcc, backlog,
+     rotation, done_count, rtr_count) = _TOKEN_FIXED.unpack_from(body, offset)
+    offset += _TOKEN_FIXED.size
+    rtr = []
+    for _ in range(rtr_count):
+        (entry,) = struct.unpack_from(">Q", body, offset)
+        offset += 8
+        rtr.append(entry)
+    return Token(ring_id=ring, seq=seq, aru=aru, aru_id=aru_id, fcc=fcc,
+                 backlog=backlog, rotation=rotation, rtr=rtr,
+                 done_count=done_count)
+
+
+def _decode_join(body: bytes, offset: int) -> JoinMessage:
+    sender, ring_seq, proc_count, fail_count = _JOIN_FIXED.unpack_from(body, offset)
+    offset += _JOIN_FIXED.size
+    proc = []
+    for _ in range(proc_count):
+        (node,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        proc.append(node)
+    fail = []
+    for _ in range(fail_count):
+        (node,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        fail.append(node)
+    return JoinMessage(sender=sender, proc_set=frozenset(proc),
+                       fail_set=frozenset(fail), ring_seq=ring_seq)
+
+
+def _decode_commit(body: bytes, offset: int) -> CommitToken:
+    ring, offset = _decode_ring(body, offset)
+    rotation, member_count, info_count = _COMMIT_FIXED.unpack_from(body, offset)
+    offset += _COMMIT_FIXED.size
+    members = []
+    for _ in range(member_count):
+        (node,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        members.append(node)
+    info = {}
+    for _ in range(info_count):
+        node, old_seq, old_rep, aru, high = _INFO_FIXED.unpack_from(body, offset)
+        offset += _INFO_FIXED.size
+        info[node] = MemberInfo(old_ring_id=RingId(seq=old_seq, representative=old_rep),
+                                my_aru=aru, high_seq=high)
+    return CommitToken(ring_id=ring, members=tuple(members), info=info,
+                       rotation=rotation)

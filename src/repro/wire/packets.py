@@ -1,0 +1,226 @@
+"""Packet dataclasses for the Totem SRP/RRP wire protocol.
+
+Sizing convention: the paper's 94-byte per-frame overhead (§8) covers the
+Ethernet, IPv4, UDP *and fixed Totem* headers, leaving 1424 bytes of payload
+per maximum-size frame.  ``wire_size()`` therefore reports only the bytes a
+packet occupies *inside* that payload budget: chunk headers + chunk data for
+data packets, and the variable body for tokens/membership packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..types import NodeId, RingId, SeqNum
+
+#: Bytes of framing per packed chunk: kind(1) + flags(1) + msg_id(4) + len(2).
+CHUNK_HEADER_BYTES = 8
+
+#: Fixed body bytes of a regular token (counted against the payload budget).
+TOKEN_BASE_BYTES = 56
+#: Bytes per retransmission-request entry in a token.
+TOKEN_RTR_ENTRY_BYTES = 8
+#: Maximum retransmission requests one token carries.
+TOKEN_MAX_RTR = 48
+
+
+class PacketType(enum.IntEnum):
+    """On-the-wire discriminator for the five packet families."""
+
+    DATA = 1
+    TOKEN = 2
+    JOIN = 3
+    COMMIT_TOKEN = 4
+
+
+class ChunkKind(enum.IntEnum):
+    """What a packed chunk contains."""
+
+    #: A (fragment of an) application message.
+    APP = 0
+    #: An old-ring data packet encapsulated for membership recovery.
+    ENCAPSULATED = 1
+
+
+class ChunkFlags(enum.IntFlag):
+    """Fragmentation flags on a chunk."""
+
+    NONE = 0
+    FIRST = 1
+    LAST = 2
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One packed unit inside a :class:`DataPacket`.
+
+    ``msg_id`` is scoped to the sending node and identifies which application
+    message a fragment belongs to; ``flags`` mark the first/last fragment.
+    An unfragmented message carries ``FIRST | LAST`` in a single chunk.
+    """
+
+    kind: ChunkKind
+    msg_id: int
+    flags: int
+    data: bytes
+
+    @property
+    def is_first(self) -> bool:
+        return bool(self.flags & ChunkFlags.FIRST)
+
+    @property
+    def is_last(self) -> bool:
+        return bool(self.flags & ChunkFlags.LAST)
+
+    def wire_size(self) -> int:
+        return CHUNK_HEADER_BYTES + len(self.data)
+
+    @staticmethod
+    def whole(msg_id: int, data: bytes, kind: ChunkKind = ChunkKind.APP) -> "Chunk":
+        """A chunk holding an entire (unfragmented) message."""
+        return Chunk(kind=kind, msg_id=msg_id,
+                     flags=int(ChunkFlags.FIRST | ChunkFlags.LAST), data=data)
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """A sequenced broadcast packet (paper §2).
+
+    The broadcaster stamps ``seq`` from the token; receivers deliver packets
+    in ``seq`` order, which yields the global total order.
+    """
+
+    sender: NodeId
+    ring_id: RingId
+    seq: SeqNum
+    chunks: Tuple[Chunk, ...]
+
+    def wire_size(self) -> int:
+        return sum(c.wire_size() for c in self.chunks)
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.DATA
+
+
+@dataclass
+class Token:
+    """The regular circulating token (paper §2).
+
+    Mutable by design: each node updates the token before forwarding it.
+    Receivers must :meth:`copy` a token before mutating it because the
+    simulator hands the same object to the RRP layer on several networks.
+
+    Fields follow the Totem SRP:
+
+    * ``seq`` — sequence number of the last message broadcast on the ring,
+    * ``aru`` / ``aru_id`` — all-received-up-to consensus for stability,
+    * ``fcc`` — messages broadcast during the last rotation (flow control),
+    * ``backlog`` — sum of senders' queued messages (flow control),
+    * ``rotation`` — incremented by the ring leader each full rotation so an
+      idle ring's retransmitted token is distinguishable (paper §2 footnote),
+    * ``rtr`` — outstanding retransmission requests,
+    * ``done_count`` — consecutive "recovery finished" votes (membership
+      recovery; unused in operational state).
+    """
+
+    ring_id: RingId
+    seq: SeqNum = 0
+    aru: SeqNum = 0
+    aru_id: NodeId = 0
+    fcc: int = 0
+    backlog: int = 0
+    rotation: int = 0
+    rtr: List[SeqNum] = field(default_factory=list)
+    done_count: int = 0
+
+    @property
+    def stamp(self) -> Tuple[int, int]:
+        """Total order on token instances of one ring: (seq, rotation).
+
+        A retransmitted token compares equal to the original; every genuinely
+        new token compares strictly greater (the leader bumps ``rotation``
+        each full rotation even when ``seq`` is unchanged).
+        """
+        return (self.seq, self.rotation)
+
+    def copy(self) -> "Token":
+        return replace(self, rtr=list(self.rtr))
+
+    def wire_size(self) -> int:
+        return TOKEN_BASE_BYTES + TOKEN_RTR_ENTRY_BYTES * len(self.rtr)
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.TOKEN
+
+
+@dataclass(frozen=True)
+class JoinMessage:
+    """Membership gather-state broadcast (Totem SRP membership).
+
+    ``proc_set`` is the set of nodes the sender believes should form the new
+    ring; ``fail_set`` the nodes it has given up on.  ``ring_seq`` is the
+    highest ring-id sequence the sender has seen, so the new ring id can be
+    chosen greater than every old one.
+    """
+
+    sender: NodeId
+    proc_set: FrozenSet[NodeId]
+    fail_set: FrozenSet[NodeId]
+    ring_seq: int
+
+    def wire_size(self) -> int:
+        return 24 + 8 * (len(self.proc_set) + len(self.fail_set))
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.JOIN
+
+
+@dataclass(frozen=True)
+class MemberInfo:
+    """Per-member old-ring state collected on the commit token's first pass."""
+
+    old_ring_id: RingId
+    my_aru: SeqNum
+    high_seq: SeqNum
+
+
+@dataclass
+class CommitToken:
+    """Membership commit token (Totem SRP membership).
+
+    Circulates twice around the prospective new ring: the first pass collects
+    each member's old-ring state, the second pass distributes the complete
+    picture so every member can plan recovery identically.
+    """
+
+    ring_id: RingId
+    members: Tuple[NodeId, ...]
+    info: Dict[NodeId, MemberInfo] = field(default_factory=dict)
+    rotation: int = 0
+
+    def copy(self) -> "CommitToken":
+        return replace(self, info=dict(self.info))
+
+    def successor_of(self, node: NodeId) -> NodeId:
+        idx = self.members.index(node)
+        return self.members[(idx + 1) % len(self.members)]
+
+    def wire_size(self) -> int:
+        return 32 + 8 * len(self.members) + 32 * len(self.info)
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.COMMIT_TOKEN
+
+
+def packet_type_of(packet: object) -> PacketType:
+    """The :class:`PacketType` of any wire object (raises for non-packets)."""
+    ptype = getattr(packet, "packet_type", None)
+    if ptype is None:
+        raise TypeError(f"not a Totem packet: {packet!r}")
+    return ptype

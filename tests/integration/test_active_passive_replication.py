@@ -1,0 +1,98 @@
+"""Integration tests for active-passive replication (paper §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.types import ReplicationStyle
+
+from conftest import drain, make_cluster
+
+
+class TestBasics:
+    def test_total_order_and_completeness(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE)
+        cluster.start()
+        for i in range(40):
+            cluster.nodes[1 + i % 4].submit(f"m{i}".encode())
+        drain(cluster)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 40 for n in cluster.nodes.values())
+
+    def test_k_fold_bandwidth_cost(self):
+        """§4: bandwidth consumption increases K-fold."""
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE)
+        cluster.start()
+        for i in range(60):
+            cluster.nodes[1 + i % 4].submit(b"x" * 900)
+        drain(cluster)
+        total_frames = sum(lan.stats.frames_sent for lan in cluster.lans)
+        data_sends = sum(n.rrp.stats.data_sends for n in cluster.nodes.values())
+        # Each logical send produced K=2 frames (plus token/control traffic).
+        assert total_frames >= 2 * data_sends
+
+    def test_traffic_spread_over_all_three_networks(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE)
+        cluster.start()
+        for i in range(60):
+            cluster.nodes[1 + i % 4].submit(b"y" * 500)
+        drain(cluster)
+        for lan in cluster.lans:
+            assert lan.stats.frames_sent > 20
+
+    def test_four_networks_k3(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE,
+                               num_networks=4, active_passive_k=3)
+        cluster.start()
+        for i in range(30):
+            cluster.nodes[1 + i % 4].submit(f"m{i}".encode())
+        drain(cluster)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 30 for n in cluster.nodes.values())
+
+
+class TestLossMasking:
+    def test_k_minus_1_lossy_networks_masked(self):
+        """§4: the loss of a message on up to K-1 networks is masked
+        without retransmission delay."""
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE, seed=41)
+        # One of the three networks is very lossy; every packet travels two
+        # networks, so a single lossy network is always masked.
+        cluster.apply_fault_plan(FaultPlan().set_loss(at=0.0, network=2,
+                                                      rate=0.3))
+        cluster.start()
+        for i in range(80):
+            cluster.nodes[1 + i % 4].submit(f"m{i:03d}".encode())
+        drain(cluster, timeout=20.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 80 for n in cluster.nodes.values())
+
+    def test_total_failure_of_one_network_transparent(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE)
+        cluster.apply_fault_plan(FaultPlan().fail_network(at=0.05, network=1))
+        cluster.start()
+        for burst in range(20):
+            for node_id in cluster.nodes:
+                cluster.nodes[node_id].submit(f"{node_id}-{burst}".encode())
+            cluster.run_for(0.01)
+        drain(cluster, timeout=10.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 80 for n in cluster.nodes.values())
+        assert all(n.srp.stats.membership_changes == 1
+                   for n in cluster.nodes.values())
+
+    def test_two_network_failures_still_survive(self):
+        """With N=3, K=2 even two dead networks leave a working system."""
+        cluster = make_cluster(ReplicationStyle.ACTIVE_PASSIVE)
+        cluster.apply_fault_plan(FaultPlan()
+                                 .fail_network(at=0.05, network=0)
+                                 .fail_network(at=0.30, network=2))
+        cluster.start()
+        for burst in range(40):
+            for node_id in cluster.nodes:
+                cluster.nodes[node_id].submit(f"{node_id}-{burst}".encode())
+            cluster.run_for(0.015)
+        drain(cluster, timeout=15.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 160 for n in cluster.nodes.values())

@@ -1,0 +1,116 @@
+"""Regression tests for two subtle extended-virtual-synchrony bugs.
+
+Both were found by the incident-forensics scenario (see DESIGN.md §7):
+
+1. *Abandoned voted-done recovery*: a node one token-hop away from
+   completing a recovery was dragged into a new gather by an unrelated
+   join and silently dropped messages that the already-installed members
+   had delivered.
+2. *Arrival-order recovery absorption*: encapsulated old-ring packets are
+   fragmented across new-ring packets; absorbing them in arrival order
+   orphans a message in the reassembler when a retransmitted first
+   fragment arrives after its second.
+
+The scenario below reproduces the original incident: churn (a crash and a
+restart) racing a network failure under a saturating workload, checked for
+delivery-history consistency among the continuously-alive nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import SaturatingWorkload
+from repro.net.faults import FaultPlan
+from repro.srp.engine import SrpState
+from repro.types import ReplicationStyle
+
+from conftest import make_cluster
+
+
+@pytest.mark.parametrize("style", (ReplicationStyle.PASSIVE,
+                                   ReplicationStyle.ACTIVE),
+                         ids=lambda s: s.value)
+def test_churn_racing_network_failure_under_load(style):
+    cluster = make_cluster(style, num_nodes=4)
+    cluster.apply_fault_plan(
+        FaultPlan()
+        .sever_send(at=0.3, network=0, node=3)
+        .fail_network(at=1.0, network=1))
+    cluster.start()
+    SaturatingWorkload(cluster, 700).start()
+
+    cluster.run_until(0.8)
+    cluster.crash_node(4)
+    cluster.run_until(1.6)
+    cluster.restart_node(4)
+    cluster.run_until(3.0)
+
+    # Nodes 1 and 2 were alive and well-connected throughout; their entire
+    # delivery histories must be prefix-consistent.
+    cluster.assert_total_order(nodes=(1, 2))
+    # And nothing delivered twice.
+    for node_id in (1, 2):
+        seen = [(m.ring_id, m.sender, m.seq, m.payload)
+                for m in cluster.nodes[node_id].delivered]
+        assert len(seen) == len(set(seen))
+
+
+def test_evs_holds_through_the_full_fault_gauntlet():
+    """The network_failover example's brutal scenario: asymmetric node
+    faults interrupt recoveries, nodes may follow different configuration
+    lineages — but per-configuration agreement (EVS) must always hold."""
+    cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4)
+    cluster.apply_fault_plan(
+        FaultPlan()
+        .sever_send(at=0.2, network=0, node=2)
+        .sever_recv(at=0.4, network=0, node=4)
+        .partition(at=0.6, network=1, groups=[[1, 2], [3, 4]])
+        .fail_network(at=0.8, network=1))
+    cluster.start()
+    SaturatingWorkload(cluster, 512).start()
+    cluster.run_until(1.8)
+    cluster.assert_evs_consistency()
+
+
+def test_evs_checker_detects_forged_divergence():
+    cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=2)
+    cluster.start()
+    cluster.nodes[1].submit(b"a")
+    cluster.nodes[2].submit(b"b")
+    cluster.run_for(0.1)
+    cluster.assert_evs_consistency()
+    log = cluster.nodes[2].log.messages
+    log[0], log[1] = log[1], log[0]
+    with pytest.raises(AssertionError, match="EVS violated"):
+        cluster.assert_evs_consistency()
+
+
+def test_interrupted_recovery_still_installs_when_done_was_voted():
+    """Directly provoke the voted-done race: saturate, crash a node so a
+    recovery happens, then fire a join mid-recovery via a booting node."""
+    cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4)
+    # Only nodes 1-3 boot initially.
+    for node_id in (1, 2, 3):
+        cluster.nodes[node_id].start([1, 2, 3])
+    workload = SaturatingWorkload(cluster, 512, senders=[1, 2, 3])
+    workload.start()
+    cluster.run_until(0.3)
+    cluster.crash_node(3)
+    # While nodes 1-2 re-form and recover, node 4 boots and joins, which is
+    # exactly the interruption that used to abandon the recovery.
+    cluster.run_until(0.45)
+    cluster.nodes[4].start(None)
+    cluster.run_until_condition(
+        lambda: all(cluster.nodes[n].srp.state is SrpState.OPERATIONAL
+                    and len(cluster.nodes[n].membership) == 3
+                    for n in (1, 2, 4)),
+        timeout=10.0)
+    workload.stop()
+    cluster.run_until_condition(
+        lambda: all(len(cluster.nodes[n].srp.send_queue) == 0
+                    for n in (1, 2)),
+        timeout=15.0)
+    cluster.run_for(0.3)
+    cluster.assert_total_order(nodes=(1, 2))
+    assert (len(cluster.nodes[1].delivered) == len(cluster.nodes[2].delivered))

@@ -1,0 +1,175 @@
+"""Integration tests for passive replication (paper §6) on the full stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.types import ReplicationStyle
+
+from conftest import drain, make_cluster
+
+
+class TestRoundRobin:
+    def test_traffic_split_across_networks(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.start()
+        for i in range(50):
+            cluster.nodes[1 + i % 4].submit(b"x" * 400)
+        drain(cluster)
+        frames0 = cluster.lans[0].stats.frames_sent
+        frames1 = cluster.lans[1].stats.frames_sent
+        assert frames0 > 10 and frames1 > 10
+        assert frames0 == pytest.approx(frames1, rel=0.35)
+
+    def test_no_duplicates_generated(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.start()
+        for i in range(30):
+            cluster.nodes[1 + i % 4].submit(f"m{i}".encode())
+        drain(cluster)
+        assert all(n.srp.stats.duplicate_packets == 0
+                   for n in cluster.nodes.values())
+        cluster.assert_total_order()
+
+    def test_three_networks(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE, num_networks=3)
+        cluster.start()
+        for i in range(60):
+            cluster.nodes[1 + i % 4].submit(b"y" * 300)
+        drain(cluster)
+        assert all(lan.stats.frames_sent > 10 for lan in cluster.lans)
+        cluster.assert_total_order()
+
+
+class TestRequirementP1:
+    def test_out_of_order_arrival_causes_no_retransmission(self):
+        """Figure 3 scenarios: networks with very different latencies
+        reorder messages against the token; P1 forbids spurious rtrs."""
+        from repro.config import LanConfig
+        cluster = make_cluster(ReplicationStyle.PASSIVE,
+                               lan=LanConfig(latency=20e-6))
+        # Make network 1 ten times slower in propagation.
+        cluster.lans[1].config = LanConfig(latency=500e-6)
+        cluster.start()
+        for i in range(60):
+            cluster.nodes[1 + i % 4].submit(f"m{i:02d}".encode())
+        drain(cluster, timeout=10.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 60 for n in cluster.nodes.values())
+        rtr = sum(n.srp.stats.retransmission_requests
+                  for n in cluster.nodes.values())
+        assert rtr == 0
+
+    def test_tokens_buffered_under_skew(self):
+        # Packing is disabled so each visit sends several packets; with an
+        # odd number of sends per visit the round-robin assigns messages and
+        # the token to different networks, which is what makes the slow
+        # network's messages trail the fast network's token.
+        from repro.config import LanConfig
+        cluster = make_cluster(ReplicationStyle.PASSIVE,
+                               enable_packing=False)
+        cluster.lans[1].config = LanConfig(latency=800e-6)
+        cluster.start()
+        for i in range(60):
+            cluster.nodes[1 + i % 4].submit(f"m{i}".encode())
+        drain(cluster, timeout=10.0)
+        buffered = sum(n.rrp.stats.tokens_buffered
+                       for n in cluster.nodes.values())
+        assert buffered > 0  # the mechanism actually engaged
+
+
+class TestRequirementP3:
+    def test_real_loss_recovered_after_token_timeout(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE, seed=23,
+                               passive_token_timeout=0.005)
+        plan = (FaultPlan()
+                .set_loss(at=0.0, network=0, rate=0.05)
+                .set_loss(at=0.0, network=1, rate=0.05))
+        cluster.apply_fault_plan(plan)
+        cluster.start()
+        for i in range(80):
+            cluster.nodes[1 + i % 4].submit(f"m{i:03d}".encode())
+        drain(cluster, timeout=30.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 80 for n in cluster.nodes.values())
+        # Real loss must have exercised retransmission (unlike active).
+        assert sum(n.srp.stats.retransmissions_served
+                   for n in cluster.nodes.values()) > 0
+
+
+class TestNetworkFailure:
+    def test_total_failure_transparent_with_reports(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.apply_fault_plan(FaultPlan().fail_network(at=0.05, network=0))
+        cluster.start()
+        for burst in range(25):
+            for node_id in cluster.nodes:
+                cluster.nodes[node_id].submit(f"{node_id}-{burst}".encode())
+            cluster.run_for(0.01)
+        drain(cluster, timeout=10.0)
+        cluster.assert_total_order()
+        assert all(len(n.log.payloads) == 100 for n in cluster.nodes.values())
+        assert all(n.srp.stats.membership_changes == 1
+                   for n in cluster.nodes.values())
+        cluster.run_until_condition(
+            lambda: all(0 in n.faulty_networks for n in cluster.nodes.values()),
+            timeout=5.0)
+
+    def test_paper_fault_propagation_story(self):
+        """§3: a node that stops sending on a network is itself interpreted
+        as a network fault by the other nodes' monitors, and the order of
+        the resulting reports aids diagnosis.
+
+        What the protocol guarantees (and this test asserts): the victim
+        node reports the truly faulty network first, every node eventually
+        raises an alarm, and the system keeps delivering in total order
+        with no membership change.  It does NOT guarantee the *other*
+        nodes blame the right network: the deaf node triggers sustained
+        retransmissions, which skew per-origin reception counts and can
+        falsely condemn a healthy network (see DESIGN.md §6 — the same
+        false-positive class corosync's RRP exhibited in production).
+        The refuse-last-network safeguard keeps the ring running anyway.
+        """
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.apply_fault_plan(FaultPlan().sever_recv(at=0.1, network=0,
+                                                        node=2))
+        cluster.start()
+        for i in range(400):
+            cluster.nodes[1 + i % 4].submit(b"z" * 256)
+            cluster.run_for(0.002)
+        cluster.run_until_condition(
+            lambda: all(n.log.fault_reports for n in cluster.nodes.values()),
+            timeout=10.0)
+        reports = cluster.all_fault_reports()
+        # The victim is the first to know, and it blames the right network.
+        assert reports[0].node == 2
+        assert reports[0].network == 0
+        assert 0 in cluster.nodes[2].faulty_networks
+        # Everyone raised an alarm for the administrator.
+        assert {r.node for r in reports} == {1, 2, 3, 4}
+        # And the system healed: total order, the full ring reassembled
+        # (the cross-marking corner may cost one reconfiguration — unlike a
+        # clean network failure, which tests above show is fully
+        # transparent), and nothing was lost.
+        cluster.run_for(0.5)
+        cluster.assert_total_order()
+        assert all(len(n.membership) == 4 for n in cluster.nodes.values())
+        assert all(n.srp.stats.membership_changes <= 2
+                   for n in cluster.nodes.values())
+        cluster.run_until_condition(
+            lambda: all(len(n.log.payloads) == 400
+                        for n in cluster.nodes.values()),
+            timeout=10.0)
+
+    def test_requirement_p5_sporadic_loss_forgiven(self):
+        cluster = make_cluster(ReplicationStyle.PASSIVE, seed=31,
+                               recv_count_topup_interval=0.05)
+        cluster.apply_fault_plan(FaultPlan().set_loss(at=0.0, network=1,
+                                                      rate=0.002))
+        cluster.start()
+        for i in range(300):
+            cluster.nodes[1 + i % 4].submit(b"w" * 200)
+            cluster.run_for(0.003)
+        cluster.run_for(0.5)
+        assert all(n.faulty_networks == [] for n in cluster.nodes.values())

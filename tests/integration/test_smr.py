@@ -1,0 +1,209 @@
+"""Integration tests for the state-machine replication toolkit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.app import ReplicatedStateMachine, StateMachine
+from repro.srp.engine import SrpState
+from repro.types import ReplicationStyle
+
+from conftest import make_cluster
+
+
+class KvMachine:
+    """A tiny deterministic KV machine implementing StateMachine."""
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    def apply(self, command: bytes) -> None:
+        op = json.loads(command.decode())
+        if op["op"] == "set":
+            self.data[op["k"]] = op["v"]
+        elif op["op"] == "incr":
+            self.data[op["k"]] = self.data.get(op["k"], 0) + op["by"]
+
+    def snapshot(self) -> bytes:
+        return json.dumps(self.data, sort_keys=True).encode()
+
+    def restore(self, snapshot: bytes) -> None:
+        self.data = json.loads(snapshot.decode())
+
+
+def set_cmd(k, v):
+    return json.dumps({"op": "set", "k": k, "v": v}).encode()
+
+
+def incr_cmd(k, by=1):
+    return json.dumps({"op": "incr", "k": k, "by": by}).encode()
+
+
+def build_rsms(cluster, node_ids=None, joiners=()):
+    return {nid: ReplicatedStateMachine(
+                cluster.nodes[nid], KvMachine(),
+                initially_synced=nid not in joiners)
+            for nid in (node_ids or cluster.nodes)}
+
+
+def ring_is(cluster, members) -> bool:
+    return all(cluster.nodes[n].srp.state is SrpState.OPERATIONAL
+               and tuple(cluster.nodes[n].membership.members) == tuple(members)
+               for n in members)
+
+
+class TestBasicReplication:
+    def test_machines_stay_identical(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        rsms = build_rsms(cluster)
+        cluster.start()
+        for i in range(40):
+            rsms[1 + i % 4].submit(incr_cmd("n"))
+        cluster.run_for(0.3)
+        states = [rsm.machine.data for rsm in rsms.values()]
+        assert all(s == {"n": 40} for s in states)
+        assert all(rsm.synced for rsm in rsms.values())
+        assert all(rsm.stats.commands_applied == 40 for rsm in rsms.values())
+
+    def test_implements_protocol(self):
+        assert isinstance(KvMachine(), StateMachine)
+
+    def test_no_sync_round_for_stable_group(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        rsms = build_rsms(cluster)
+        cluster.start()
+        cluster.run_for(0.2)
+        assert all(rsm.stats.markers_sent == 0 for rsm in rsms.values())
+
+
+class TestJoinStateTransfer:
+    def test_joiner_catches_up_via_snapshot(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4)
+        rsms = build_rsms(cluster, joiners=(4,))
+        for nid in (1, 2, 3):
+            cluster.nodes[nid].start([1, 2, 3])
+        for i in range(25):
+            rsms[1 + i % 3].submit(set_cmd(f"k{i}", i))
+        cluster.run_for(0.2)
+        # Node 4 joins late with an empty machine.
+        cluster.nodes[4].start(None)
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        rsms[1].submit(set_cmd("after", 99))
+        cluster.run_until_condition(lambda: rsms[4].synced, timeout=5.0)
+        cluster.run_for(0.2)
+        assert rsms[4].machine.data == rsms[1].machine.data
+        assert rsms[4].machine.data["k0"] == 0  # pre-join state transferred
+        assert rsms[4].machine.data["after"] == 99
+        assert rsms[4].stats.snapshots_installed == 1
+
+    def test_commands_during_transfer_not_lost(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=3)
+        rsms = build_rsms(cluster, joiners=(3,))
+        for nid in (1, 2):
+            cluster.nodes[nid].start([1, 2])
+        for i in range(10):
+            rsms[1].submit(incr_cmd("c"))
+        cluster.run_for(0.1)
+        cluster.nodes[3].start(None)
+        # Keep writing while the membership change and transfer happen.
+        for i in range(30):
+            rsms[1 + i % 2].submit(incr_cmd("c"))
+            cluster.run_for(0.004)
+        cluster.run_until_condition(lambda: rsms[3].synced, timeout=5.0)
+        cluster.run_for(0.3)
+        assert rsms[3].machine.data == {"c": 40}
+        assert rsms[1].machine.data == {"c": 40}
+
+    def test_restarted_node_resyncs(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        rsms = build_rsms(cluster)
+        cluster.start()
+        for i in range(10):
+            rsms[1].submit(incr_cmd("x"))
+        cluster.run_for(0.2)
+        cluster.crash_node(2)
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 3, 4)),
+                                    timeout=5.0)
+        rsms[1].submit(incr_cmd("x"))
+        cluster.run_for(0.1)
+        fresh = cluster.restart_node(2)
+        rsms[2] = ReplicatedStateMachine(fresh, KvMachine(),
+                                         initially_synced=False)
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        cluster.run_until_condition(lambda: rsms[2].synced, timeout=5.0)
+        cluster.run_for(0.2)
+        assert rsms[2].machine.data == {"x": 11}
+
+
+class TestMergeSemantics:
+    def test_majority_lineage_wins_merge(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4,
+                               presence_interval=0.1)
+        rsms = build_rsms(cluster)
+        for nid in (1, 2, 3):
+            cluster.nodes[nid].start([1, 2, 3])
+        cluster.nodes[4].start([4])
+        # Establish divergent state while the groups cannot see each other.
+        cluster.partition_cluster([[1, 2, 3], [4]])
+        cluster.run_for(0.05)
+        rsms[1].submit(set_cmd("group", "majority"))
+        rsms[4].submit(set_cmd("group", "minority"))
+        cluster.run_for(0.2)
+        assert rsms[4].machine.data == {"group": "minority"}
+        assert rsms[1].machine.data == {"group": "majority"}
+        cluster.heal_cluster()
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        cluster.run_until_condition(
+            lambda: all(rsm.synced for rsm in rsms.values()), timeout=5.0)
+        cluster.run_for(0.2)
+        # The three-node lineage's state prevails; node 4's divergent
+        # update is discarded with the standard primary-lineage semantics.
+        for rsm in rsms.values():
+            assert rsm.machine.data == {"group": "majority"}
+        assert rsms[4].stats.state_discards == 1
+
+    def test_partition_heal_discards_minority_side(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4,
+                               presence_interval=0.1)
+        rsms = build_rsms(cluster)
+        cluster.start()
+        rsms[1].submit(set_cmd("base", 1))
+        cluster.run_for(0.1)
+        cluster.partition_cluster([[1, 2, 3], [4]])
+        cluster.run_until_condition(
+            lambda: ring_is(cluster, (1, 2, 3)) and ring_is(cluster, (4,)),
+            timeout=5.0)
+        rsms[1].submit(set_cmd("majority_write", True))
+        rsms[4].submit(set_cmd("minority_write", True))
+        cluster.run_for(0.3)
+        cluster.heal_cluster()
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=8.0)
+        cluster.run_until_condition(
+            lambda: all(rsm.synced for rsm in rsms.values()), timeout=5.0)
+        cluster.run_for(0.2)
+        reference = rsms[1].machine.data
+        assert reference.get("majority_write") is True
+        assert "minority_write" not in reference
+        assert all(rsm.machine.data == reference for rsm in rsms.values())
+
+    def test_post_merge_writes_apply_everywhere(self):
+        cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4,
+                               presence_interval=0.1)
+        rsms = build_rsms(cluster)
+        for nid in (1, 2, 3):
+            cluster.nodes[nid].start([1, 2, 3])
+        cluster.nodes[4].start([4])
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        cluster.run_until_condition(
+            lambda: all(rsm.synced for rsm in rsms.values()), timeout=5.0)
+        rsms[4].submit(set_cmd("from4", "hello"))
+        cluster.run_for(0.2)
+        assert all(rsm.machine.data.get("from4") == "hello"
+                   for rsm in rsms.values())

@@ -1,0 +1,144 @@
+"""Integration tests for the asyncio UDP transport (real sockets).
+
+The same sans-io engines run over loopback UDP; each redundant "network" is
+a distinct socket per node.  These tests bind ephemeral-range ports on
+127.0.0.1 and are skipped automatically if sockets are unavailable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.api.asyncio_node import AsyncioTotemNode
+from repro.config import TotemConfig
+from repro.net.udp import UdpStack, local_address_map
+from repro.errors import TransportError
+from repro.types import ReplicationStyle
+
+
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:  # pragma: no cover - sandboxed environments
+        return False
+
+
+pytestmark = pytest.mark.skipif(not _loopback_available(),
+                                reason="loopback UDP unavailable")
+
+
+def quick_config(style=ReplicationStyle.ACTIVE, networks=2) -> TotemConfig:
+    return TotemConfig(replication=style, num_networks=networks,
+                       token_retransmit_interval=0.02,
+                       token_loss_timeout=0.4)
+
+
+async def _start_nodes(ids, config, base_port):
+    addresses = local_address_map(ids, config.num_networks,
+                                  base_port=base_port)
+    nodes = {i: AsyncioTotemNode(i, config, addresses) for i in ids}
+    for node in nodes.values():
+        await node.start(initial_members=list(ids))
+    return nodes
+
+
+async def _settle(nodes, predicate, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not reached over UDP")
+        await asyncio.sleep(0.02)
+
+
+class TestUdpDelivery:
+    def test_total_order_over_real_sockets(self):
+        async def scenario():
+            nodes = await _start_nodes([1, 2, 3], quick_config(), 20100)
+            try:
+                for i in range(12):
+                    nodes[1 + i % 3].submit(f"udp-{i}".encode())
+                await _settle(nodes, lambda: all(
+                    len(n.delivered) == 12 for n in nodes.values()))
+                reference = [m.payload for m in nodes[1].delivered]
+                for node in nodes.values():
+                    assert [m.payload for m in node.delivered] == reference
+            finally:
+                for node in nodes.values():
+                    node.close()
+        asyncio.run(scenario())
+
+    def test_passive_style_over_udp(self):
+        async def scenario():
+            config = quick_config(ReplicationStyle.PASSIVE)
+            nodes = await _start_nodes([1, 2, 3], config, 20200)
+            try:
+                for i in range(9):
+                    nodes[1 + i % 3].submit(f"p-{i}".encode())
+                await _settle(nodes, lambda: all(
+                    len(n.delivered) == 9 for n in nodes.values()))
+            finally:
+                for node in nodes.values():
+                    node.close()
+        asyncio.run(scenario())
+
+    def test_large_message_fragmentation_over_udp(self):
+        async def scenario():
+            nodes = await _start_nodes([1, 2], quick_config(), 20300)
+            try:
+                big = bytes(range(256)) * 30  # 7680 B: several fragments
+                nodes[1].submit(big)
+                await _settle(nodes, lambda: all(
+                    len(n.delivered) == 1 for n in nodes.values()))
+                assert nodes[2].delivered[0].payload == big
+            finally:
+                for node in nodes.values():
+                    node.close()
+        asyncio.run(scenario())
+
+
+class TestUdpStack:
+    def test_address_map_validation(self):
+        with pytest.raises(TransportError):
+            UdpStack(9, {1: [("127.0.0.1", 20400)]})
+        with pytest.raises(TransportError):
+            UdpStack(1, {1: [("127.0.0.1", 20401)],
+                         2: [("127.0.0.1", 20402), ("127.0.0.1", 20403)]})
+
+    def test_send_before_open_rejected(self):
+        stack = UdpStack(1, local_address_map([1, 2], 1, base_port=20500))
+        with pytest.raises(TransportError):
+            stack.unicast(0, 2, _dummy_packet())
+
+    def test_garbage_datagram_counted_not_crashing(self):
+        async def scenario():
+            addresses = local_address_map([1], 1, base_port=20600)
+            stack = UdpStack(1, addresses)
+            stack.set_receive_handler(lambda p, n: None)
+            await stack.open()
+            try:
+                probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                probe.sendto(b"not a totem packet", tuple(addresses[1][0]))
+                probe.close()
+                await asyncio.sleep(0.1)
+                assert stack.decode_failures == 1
+            finally:
+                stack.close()
+        asyncio.run(scenario())
+
+    def test_local_address_map_shape(self):
+        addresses = local_address_map([5, 9], 3, base_port=21000)
+        assert set(addresses) == {5, 9}
+        flat = [addr for addrs in addresses.values() for addr in addrs]
+        assert len(set(flat)) == 6  # all distinct ports
+
+
+def _dummy_packet():
+    from repro.types import RingId
+    from repro.wire.packets import Token
+    return Token(ring_id=RingId(4, 1))

@@ -1,0 +1,83 @@
+"""Property-based tests: receive-buffer and scheduler invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.scheduler import EventScheduler
+from repro.srp.ordering import ReceiveBuffer
+from repro.types import RingId
+from repro.wire.packets import DataPacket
+
+RING = RingId(4, 1)
+
+
+def packet(seq: int) -> DataPacket:
+    return DataPacket(sender=1, ring_id=RING, seq=seq, chunks=())
+
+
+@given(permutation=st.permutations(list(range(1, 26))))
+def test_aru_invariants_under_any_arrival_order(permutation):
+    buffer = ReceiveBuffer()
+    seen = set()
+    for seq in permutation:
+        assert buffer.insert(packet(seq))
+        seen.add(seq)
+        # my_aru is the longest contiguous prefix of what has been seen.
+        expected_aru = 0
+        while expected_aru + 1 in seen:
+            expected_aru += 1
+        assert buffer.my_aru == expected_aru
+        assert buffer.high_seq == max(seen)
+        missing = set(buffer.missing_up_to(buffer.high_seq))
+        assert missing == set(range(1, buffer.high_seq + 1)) - seen
+    assert buffer.my_aru == 25
+
+
+@given(permutation=st.permutations(list(range(1, 21))),
+       gc_points=st.lists(st.integers(min_value=0, max_value=20), max_size=5))
+def test_gc_never_loses_undelivered_suffix(permutation, gc_points):
+    buffer = ReceiveBuffer()
+    inserted = []
+    gc_schedule = list(gc_points)
+    for seq in permutation:
+        buffer.insert(packet(seq))
+        inserted.append(seq)
+        if gc_schedule:
+            point = gc_schedule.pop()
+            buffer.gc_below(point)
+            # everything above the gc floor and received stays retrievable
+            for s in inserted:
+                if s > buffer.gc_floor:
+                    assert buffer.get(s) is not None
+    # duplicates (even collected ones) are still recognised
+    for s in range(1, 21):
+        assert buffer.has(s)
+        assert not buffer.insert(packet(s))
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=10,
+                                 allow_nan=False), min_size=1, max_size=50))
+def test_scheduler_fires_in_nondecreasing_time_order(delays):
+    scheduler = EventScheduler()
+    fired = []
+    for delay in delays:
+        scheduler.call_after(delay, lambda: fired.append(scheduler.now()))
+    scheduler.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(groups=st.lists(st.integers(min_value=1, max_value=5),
+                       min_size=1, max_size=10))
+def test_scheduler_equal_times_fifo(groups):
+    scheduler = EventScheduler()
+    fired = []
+    label = 0
+    for group_size in groups:
+        for _ in range(group_size):
+            scheduler.call_at(1.0, fired.append, label)
+            label += 1
+    scheduler.run()
+    assert fired == list(range(label))

@@ -1,0 +1,87 @@
+"""Property-based tests for packing/fragmentation and reassembly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.srp.packing import Packer, Reassembler
+from repro.srp.send_queue import SendQueue
+from repro.wire.packets import CHUNK_HEADER_BYTES
+
+messages = st.lists(st.binary(max_size=4000), min_size=0, max_size=20)
+payload_budgets = st.integers(min_value=32, max_value=1500)
+
+
+def pack_everything(payloads, max_payload, enable_packing=True):
+    queue = SendQueue(capacity=10_000)
+    packer = Packer(queue, max_payload, enable_packing=enable_packing)
+    for payload in payloads:
+        queue.enqueue(payload)
+    packets = []
+    while packer.has_pending():
+        chunks = packer.next_packet_chunks()
+        assert chunks, "pending work must always produce chunks"
+        packets.append(chunks)
+    return packets
+
+
+@given(payloads=messages, max_payload=payload_budgets)
+@settings(max_examples=150)
+def test_pack_reassemble_roundtrip(payloads, max_payload):
+    """Whatever goes in comes out: same payloads, same order."""
+    packets = pack_everything(payloads, max_payload)
+    reassembler = Reassembler()
+    out = []
+    for chunks in packets:
+        for chunk in chunks:
+            done = reassembler.feed(1, chunk)
+            if done is not None:
+                out.append(done)
+    assert out == payloads
+    assert reassembler.pending_count() == 0
+
+
+@given(payloads=messages, max_payload=payload_budgets)
+@settings(max_examples=150)
+def test_packets_respect_budget(payloads, max_payload):
+    for chunks in pack_everything(payloads, max_payload):
+        size = sum(c.wire_size() for c in chunks)
+        assert size <= max_payload
+
+
+@given(payloads=messages, max_payload=payload_budgets)
+def test_fragments_are_consecutive_per_message(payloads, max_payload):
+    packets = pack_everything(payloads, max_payload)
+    open_msg = None
+    for chunks in packets:
+        for chunk in chunks:
+            if open_msg is not None:
+                assert chunk.msg_id == open_msg, \
+                    "another message interleaved into an open fragmentation"
+            if chunk.is_first and not chunk.is_last:
+                open_msg = chunk.msg_id
+            elif chunk.is_last:
+                open_msg = None
+
+
+@given(payloads=st.lists(st.binary(max_size=300), max_size=20),
+       max_payload=st.integers(min_value=400, max_value=1500))
+def test_packing_disabled_means_one_message_per_packet(payloads, max_payload):
+    packets = pack_everything(payloads, max_payload, enable_packing=False)
+    # every message here fits a packet alone, so counts must match
+    assert len(packets) == len(payloads)
+    for chunks in packets:
+        assert len(chunks) == 1
+
+
+@given(payloads=messages, max_payload=payload_budgets)
+def test_backlog_reaches_zero(payloads, max_payload):
+    queue = SendQueue(capacity=10_000)
+    packer = Packer(queue, max_payload)
+    for payload in payloads:
+        queue.enqueue(payload)
+    assert packer.backlog() == len(payloads)
+    while packer.has_pending():
+        packer.next_packet_chunks()
+    assert packer.backlog() == 0

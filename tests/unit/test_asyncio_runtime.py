@@ -1,0 +1,54 @@
+"""Unit tests for the asyncio runtime adapter."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api.asyncio_node import AsyncioRuntime
+from repro.sim.runtime import Runtime
+
+
+class TestAsyncioRuntime:
+    def test_implements_runtime_protocol(self):
+        async def scenario():
+            runtime = AsyncioRuntime(asyncio.get_running_loop())
+            assert isinstance(runtime, Runtime)
+        asyncio.run(scenario())
+
+    def test_now_is_loop_time(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            runtime = AsyncioRuntime(loop)
+            assert runtime.now() == pytest.approx(loop.time(), abs=0.05)
+        asyncio.run(scenario())
+
+    def test_timer_fires_with_args(self):
+        async def scenario():
+            runtime = AsyncioRuntime(asyncio.get_running_loop())
+            got = []
+            runtime.set_timer(0.01, lambda a, b: got.append((a, b)), 1, 2)
+            await asyncio.sleep(0.05)
+            assert got == [(1, 2)]
+        asyncio.run(scenario())
+
+    def test_timer_cancel(self):
+        async def scenario():
+            runtime = AsyncioRuntime(asyncio.get_running_loop())
+            got = []
+            timer = runtime.set_timer(0.01, got.append, "x")
+            assert timer.active
+            timer.cancel()
+            assert not timer.active
+            await asyncio.sleep(0.05)
+            assert got == []
+        asyncio.run(scenario())
+
+    def test_timer_inactive_after_firing(self):
+        async def scenario():
+            runtime = AsyncioRuntime(asyncio.get_running_loop())
+            timer = runtime.set_timer(0.01, lambda: None)
+            await asyncio.sleep(0.05)
+            assert not timer.active
+        asyncio.run(scenario())

@@ -1,0 +1,191 @@
+"""Unit tests for the benchmark harness itself (workload, runner, report,
+figures, latency, CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    FigurePoint,
+    FigureResult,
+    as_bandwidth_view,
+    extension_failover_timeline,
+    run_figure,
+    table_claims,
+    table_srp_saturation,
+)
+from repro.bench.latency import LatencyResult, measure_delivery_latency
+from repro.bench.report import ascii_loglog_chart, format_table
+from repro.bench.runner import ThroughputResult, build_config, run_throughput
+from repro.bench.workload import SaturatingWorkload
+from repro.api.cluster import SimCluster
+from repro.types import ReplicationStyle
+
+
+class TestWorkload:
+    def test_keeps_ring_saturated(self):
+        cluster = SimCluster(build_config(ReplicationStyle.NONE, 3))
+        cluster.start()
+        workload = SaturatingWorkload(cluster, 256)
+        workload.start()
+        cluster.run_for(0.05)
+        # Far more traffic than a non-saturating workload would produce,
+        # and the queues are continuously refilled.
+        assert workload.total_sent > 500
+        for node in cluster.nodes.values():
+            assert (len(node.srp.send_queue) > 0
+                    or node.srp._packer.has_pending())
+
+    def test_stop_halts_refills(self):
+        cluster = SimCluster(build_config(ReplicationStyle.NONE, 3))
+        cluster.start()
+        workload = SaturatingWorkload(cluster, 256)
+        workload.start()
+        cluster.run_for(0.02)
+        workload.stop()
+        sent = workload.total_sent
+        cluster.run_for(0.05)
+        assert workload.total_sent == sent
+
+    def test_payload_carries_index(self):
+        cluster = SimCluster(build_config(ReplicationStyle.NONE, 2))
+        cluster.start()
+        workload = SaturatingWorkload(cluster, 64, senders=[1])
+        workload.start()
+        cluster.run_for(0.05)
+        first = cluster.nodes[2].delivered[0]
+        assert int.from_bytes(first.payload[:8], "big") == 0
+
+    def test_rejects_tiny_messages(self):
+        cluster = SimCluster(build_config(ReplicationStyle.NONE, 2))
+        with pytest.raises(ValueError):
+            SaturatingWorkload(cluster, 4)
+
+    def test_start_idempotent(self):
+        cluster = SimCluster(build_config(ReplicationStyle.NONE, 2))
+        cluster.start()
+        workload = SaturatingWorkload(cluster, 64)
+        workload.start()
+        workload.start()
+        cluster.run_for(0.01)
+        assert workload.total_sent > 0
+
+
+class TestRunner:
+    def test_throughput_result_fields(self):
+        result = run_throughput(ReplicationStyle.NONE, 2, 512,
+                                duration=0.05, warmup=0.02)
+        assert result.msgs_per_sec > 0
+        assert result.kbytes_per_sec > 0
+        assert len(result.network_utilization) == 1
+        assert 0.0 <= result.cpu_utilization <= 1.0
+        assert "msg/s" in result.row()
+
+    def test_build_config_defaults_per_style(self):
+        assert build_config(ReplicationStyle.NONE, 4).totem.num_networks == 1
+        assert build_config(ReplicationStyle.ACTIVE, 4).totem.num_networks == 2
+        assert build_config(
+            ReplicationStyle.ACTIVE_PASSIVE, 4).totem.num_networks == 3
+
+    def test_zero_duration_rates(self):
+        result = ThroughputResult(
+            style=ReplicationStyle.NONE, num_nodes=1, num_networks=1,
+            message_size=1, duration=0.0, messages_delivered=0,
+            payload_bytes=0, network_utilization=[0.0], cpu_utilization=0.0,
+            retransmission_requests=0, token_timer_expiries=0)
+        assert result.msgs_per_sec == 0.0
+        assert result.kbytes_per_sec == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_chart_renders_all_series(self):
+        chart = ascii_loglog_chart({
+            "one": [(100, 1000), (1000, 500)],
+            "two": [(100, 2000), (1000, 800)]})
+        assert "o = one" in chart
+        assert "x = two" in chart
+        assert "log-log" in chart
+
+    def test_chart_empty(self):
+        assert ascii_loglog_chart({}) == "(no data)"
+
+    def test_chart_single_point(self):
+        chart = ascii_loglog_chart({"s": [(700, 9000)]})
+        assert "o = s" in chart
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def tiny_figure(self):
+        return run_figure("t", "tiny", num_nodes=2, unit="msgs/s",
+                          sizes=(512,),
+                          styles=(ReplicationStyle.NONE,
+                                  ReplicationStyle.ACTIVE),
+                          duration=0.05, warmup=0.02)
+
+    def test_run_figure_collects_all_points(self, tiny_figure):
+        assert len(tiny_figure.points) == 2
+        assert tiny_figure.get(ReplicationStyle.NONE, 512) is not None
+        assert tiny_figure.get(ReplicationStyle.NONE, 999) is None
+
+    def test_series_and_table(self, tiny_figure):
+        series = tiny_figure.series()
+        assert set(series) == {"none", "active"}
+        table = tiny_figure.to_table()
+        assert "512" in table
+        rendered = tiny_figure.render()
+        assert "tiny" in rendered
+
+    def test_bandwidth_view_reuses_points(self, tiny_figure):
+        view = as_bandwidth_view(tiny_figure, "v", "view")
+        assert view.unit == "KB/s"
+        assert len(view.points) == len(tiny_figure.points)
+        point = view.points[0]
+        assert view.value_of(point) == point.kbytes_per_sec
+
+    def test_srp_saturation_table(self):
+        text = table_srp_saturation(duration=0.1, warmup=0.05)
+        assert "msgs/s" in text
+
+    def test_claims_table_from_prebuilt_figure(self):
+        figure = run_figure("c", "claims", num_nodes=4, unit="msgs/s",
+                            sizes=(700, 1024),
+                            duration=0.1, warmup=0.05)
+        text = table_claims(figure=figure)
+        assert "packing peak" in text
+        assert "active deficit" in text
+
+    def test_failover_timeline_runs(self):
+        text = extension_failover_timeline(
+            style=ReplicationStyle.ACTIVE, fail_at=0.1, total=0.3,
+            bin_width=0.1)
+        assert "network failed" in text
+
+
+class TestLatency:
+    def test_latency_result_ordering(self):
+        result = measure_delivery_latency(ReplicationStyle.NONE,
+                                          num_nodes=2, samples=10)
+        assert result.samples == 10
+        assert result.p50 <= result.p99 <= result.worst
+        assert result.mean > 0
+        assert "ms" in result.row()
+
+
+class TestCli:
+    def test_cli_runs_quick_target(self, capsys):
+        from repro.bench.cli import main
+        assert main(["srp"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation" in out
+
+    def test_cli_rejects_unknown_target(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,161 @@
+"""Unit tests for the virtual clock and the event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advances(self):
+        clock = VirtualClock()
+        clock.advance_to(1.5)
+        assert clock.now() == 1.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = VirtualClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 1.0
+
+    def test_refuses_to_go_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+
+class TestEventScheduler:
+    def test_call_after_fires_in_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_after(0.3, fired.append, "c")
+        scheduler.call_after(0.1, fired.append, "a")
+        scheduler.call_after(0.2, fired.append, "b")
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        for label in "abcde":
+            scheduler.call_at(1.0, fired.append, label)
+        scheduler.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_with_events(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.call_after(0.5, lambda: seen.append(scheduler.now()))
+        scheduler.run()
+        assert seen == [0.5]
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = EventScheduler()
+        scheduler.call_after(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.call_after(-0.1, lambda: None)
+
+    def test_cancelled_timer_never_fires(self):
+        scheduler = EventScheduler()
+        fired = []
+        timer = scheduler.call_after(0.1, fired.append, "x")
+        timer.cancel()
+        scheduler.run()
+        assert fired == []
+        assert timer.cancelled
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_after(0.1, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert not timer.active
+
+    def test_timer_active_lifecycle(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_after(0.1, lambda: None)
+        assert timer.active
+        scheduler.run()
+        assert not timer.active
+        assert not timer.cancelled
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.call_after(0.1, lambda: fired.append("second"))
+        scheduler.call_after(0.1, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.now() == pytest.approx(0.2)
+
+    def test_event_at_current_time_fires(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def now_event():
+            scheduler.call_after(0.0, lambda: fired.append("same-time"))
+        scheduler.call_after(0.1, now_event)
+        scheduler.run()
+        assert fired == ["same-time"]
+
+    def test_run_until_fires_inclusive_boundary(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(1.0, fired.append, "at")
+        scheduler.call_at(1.0001, fired.append, "after")
+        scheduler.run_until(1.0)
+        assert fired == ["at"]
+        assert scheduler.now() == 1.0
+
+    def test_run_until_advances_clock_without_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(3.0)
+        assert scheduler.now() == 3.0
+
+    def test_run_max_events(self):
+        scheduler = EventScheduler()
+        for _ in range(10):
+            scheduler.call_after(0.1, lambda: None)
+        assert scheduler.run(max_events=4) == 4
+        assert scheduler.run() == 6
+
+    def test_events_processed_excludes_cancelled(self):
+        scheduler = EventScheduler()
+        keep = scheduler.call_after(0.1, lambda: None)
+        drop = scheduler.call_after(0.2, lambda: None)
+        drop.cancel()
+        scheduler.run()
+        assert scheduler.events_processed == 1
+        assert keep.when == pytest.approx(0.1)
+
+    def test_peek_time_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.call_after(0.1, lambda: None)
+        scheduler.call_after(0.2, lambda: None)
+        first.cancel()
+        assert scheduler.peek_time() == pytest.approx(0.2)
+
+    def test_peek_time_empty(self):
+        assert EventScheduler().peek_time() is None
+
+    def test_step_returns_false_when_drained(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,139 @@
+"""Unit tests for the binary codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChecksumError, CodecError
+from repro.types import RingId
+from repro.wire.codec import decode_packet, encode_packet
+from repro.wire.packets import (
+    Chunk,
+    ChunkFlags,
+    ChunkKind,
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    MemberInfo,
+    Token,
+)
+
+RING = RingId(seq=12, representative=3)
+
+
+def sample_data_packet() -> DataPacket:
+    return DataPacket(
+        sender=7, ring_id=RING, seq=99,
+        chunks=(Chunk.whole(1, b"hello"),
+                Chunk(ChunkKind.ENCAPSULATED, 42, int(ChunkFlags.FIRST), b"frag"),
+                Chunk.whole(2, b"")))
+
+
+def sample_token() -> Token:
+    return Token(ring_id=RING, seq=100, aru=90, aru_id=2, fcc=40, backlog=7,
+                 rotation=12, rtr=[91, 93, 95], done_count=3)
+
+
+def sample_join() -> JoinMessage:
+    return JoinMessage(sender=5, proc_set=frozenset({1, 2, 5}),
+                       fail_set=frozenset({9}), ring_seq=16)
+
+
+def sample_commit() -> CommitToken:
+    return CommitToken(
+        ring_id=RING, members=(1, 2, 5), rotation=1,
+        info={1: MemberInfo(RingId(8, 1), 10, 12),
+              5: MemberInfo(RingId(4, 5), 0, 0)})
+
+
+ALL_SAMPLES = [sample_data_packet, sample_token, sample_join, sample_commit]
+
+
+@pytest.mark.parametrize("factory", ALL_SAMPLES, ids=lambda f: f.__name__)
+def test_roundtrip(factory):
+    packet = factory()
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+def test_empty_data_packet_roundtrip():
+    packet = DataPacket(sender=1, ring_id=RING, seq=1, chunks=())
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+def test_large_payload_roundtrip():
+    packet = DataPacket(sender=1, ring_id=RING, seq=1,
+                        chunks=(Chunk.whole(1, bytes(range(256)) * 64),))
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+def test_corrupted_byte_raises_checksum_error():
+    data = bytearray(encode_packet(sample_token()))
+    data[10] ^= 0xFF
+    with pytest.raises(ChecksumError):
+        decode_packet(bytes(data))
+
+
+def test_corrupted_crc_raises_checksum_error():
+    data = bytearray(encode_packet(sample_token()))
+    data[-1] ^= 0x01
+    with pytest.raises(ChecksumError):
+        decode_packet(bytes(data))
+
+
+def test_too_short_raises():
+    with pytest.raises(CodecError):
+        decode_packet(b"abc")
+
+
+def test_bad_magic_raises():
+    data = bytearray(encode_packet(sample_join()))
+    # Rewrite magic and fix up the CRC so only the magic check can fail.
+    import struct
+    import zlib
+    data[0:2] = b"\x00\x00"
+    body = bytes(data[:-4])
+    data[-4:] = struct.pack(">I", zlib.crc32(body))
+    with pytest.raises(CodecError, match="magic"):
+        decode_packet(bytes(data))
+
+
+def test_bad_version_raises():
+    import struct
+    import zlib
+    data = bytearray(encode_packet(sample_join()))
+    data[2] = 99
+    body = bytes(data[:-4])
+    data[-4:] = struct.pack(">I", zlib.crc32(body))
+    with pytest.raises(CodecError, match="version"):
+        decode_packet(bytes(data))
+
+
+def test_unknown_type_raises():
+    import struct
+    import zlib
+    data = bytearray(encode_packet(sample_join()))
+    data[3] = 200
+    body = bytes(data[:-4])
+    data[-4:] = struct.pack(">I", zlib.crc32(body))
+    with pytest.raises(CodecError, match="type"):
+        decode_packet(bytes(data))
+
+
+def test_truncated_body_raises():
+    import struct
+    import zlib
+    data = bytearray(encode_packet(sample_data_packet()))
+    # Drop payload bytes but keep a valid CRC over the truncated body.
+    body = bytes(data[:-20])
+    truncated = body + struct.pack(">I", zlib.crc32(body))
+    with pytest.raises(CodecError):
+        decode_packet(truncated)
+
+
+def test_encoded_size_tracks_wire_size_convention():
+    """Encoded bytes are close to wire_size + fixed header (sanity of the
+    sizing convention used by the simulator)."""
+    packet = sample_data_packet()
+    encoded = len(encode_packet(packet))
+    assert encoded >= packet.wire_size()
+    assert encoded <= packet.wire_size() + 94  # within the frame overhead

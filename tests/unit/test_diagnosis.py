@@ -1,0 +1,130 @@
+"""Unit tests for the §3 fault-report diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagnosis import (
+    Diagnosis,
+    FaultHypothesis,
+    diagnose,
+    format_diagnoses,
+)
+from repro.types import FaultKind, FaultReport
+
+NODES = [1, 2, 3, 4]
+
+
+def report(node, network, time, detail="", kind=FaultKind.NETWORK_FAILED):
+    return FaultReport(node=node, network=network, kind=kind, time=time,
+                       detail=detail)
+
+
+class TestTotalFailure:
+    def test_all_nodes_same_network(self):
+        reports = [report(n, 1, 0.5 + 0.01 * n,
+                          detail="problem counter reached 10")
+                   for n in NODES]
+        result = diagnose(reports, NODES)
+        assert len(result) == 1
+        assert result[0].hypothesis is FaultHypothesis.TOTAL_NETWORK_FAILURE
+        assert result[0].network == 1
+        assert result[0].node is None
+        assert result[0].confidence == 1.0
+
+    def test_token_lag_reports_also_total(self):
+        reports = [report(n, 0, 0.5, detail="token: reception lag 51")
+                   for n in NODES]
+        result = diagnose(reports, NODES)
+        assert result[0].hypothesis is FaultHypothesis.TOTAL_NETWORK_FAILURE
+
+
+class TestNodePathFaults:
+    def test_receive_fault_signature(self):
+        """Victim starves first, others then cite the victim."""
+        reports = [report(2, 0, 0.50, detail="token: reception lag 51")]
+        reports += [report(n, 0, 0.80, detail="messages from 2: reception lag 51")
+                    for n in (1, 3, 4)]
+        result = diagnose(reports, NODES)
+        assert len(result) == 1
+        assert result[0].hypothesis is FaultHypothesis.NODE_RECEIVE_FAULT
+        assert result[0].node == 2
+        assert result[0].network == 0
+        assert result[0].confidence == 1.0
+
+    def test_send_fault_signature(self):
+        """Others cite the victim; the victim itself never reports."""
+        reports = [report(n, 0, 0.3, detail="messages from 3: reception lag 51")
+                   for n in (1, 2, 4)]
+        result = diagnose(reports, NODES)
+        assert result[0].hypothesis is FaultHypothesis.NODE_SEND_FAULT
+        assert result[0].node == 3
+        assert result[0].confidence == 1.0
+
+    def test_partial_corroboration_lowers_confidence(self):
+        reports = [report(1, 0, 0.3, detail="messages from 3: reception lag 51"),
+                   report(2, 0, 0.4, detail="messages from 3: reception lag 51")]
+        result = diagnose(reports, NODES)
+        assert result[0].hypothesis is FaultHypothesis.NODE_SEND_FAULT
+        assert result[0].confidence == pytest.approx(2 / 3)
+
+
+class TestSporadicAndRestore:
+    def test_single_uncorroborated_report(self):
+        result = diagnose([report(4, 1, 0.2, detail="problem counter")], NODES)
+        assert result[0].hypothesis is FaultHypothesis.SPORADIC_DEGRADATION
+        assert result[0].confidence == pytest.approx(1 / 4)
+
+    def test_restore_clears_failure(self):
+        reports = [report(n, 1, 0.5, detail="problem counter") for n in NODES]
+        reports += [report(n, 1, 1.0, kind=FaultKind.NETWORK_RESTORED)
+                    for n in NODES]
+        assert diagnose(reports, NODES) == []
+
+    def test_restore_then_refailure_diagnosed(self):
+        reports = [report(1, 1, 0.5), report(1, 1, 1.0,
+                                             kind=FaultKind.NETWORK_RESTORED),
+                   report(1, 1, 2.0, detail="problem counter")]
+        result = diagnose(reports, NODES)
+        assert len(result) == 1
+        assert result[0].reports[0].time == 2.0
+
+
+class TestMultipleNetworks:
+    def test_independent_diagnoses_ordered_by_time(self):
+        reports = [report(n, 1, 2.0) for n in NODES]
+        reports += [report(n, 0, 1.0) for n in NODES]
+        result = diagnose(reports, NODES)
+        assert [d.network for d in result] == [0, 1]
+
+
+class TestFormatting:
+    def test_empty(self):
+        assert format_diagnoses([]) == "no faults diagnosed"
+
+    def test_str_mentions_essentials(self):
+        reports = [report(n, 0, 0.3, detail="messages from 3: reception lag 51")
+                   for n in (1, 2, 4)]
+        text = format_diagnoses(diagnose(reports, NODES))
+        assert "send-path" in text
+        assert "node 3" in text
+        assert "network 0" in text
+
+
+class TestEndToEndIntegration:
+    def test_diagnosis_of_simulated_total_failure(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import make_cluster
+        from repro.net.faults import FaultPlan
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        cluster.apply_fault_plan(FaultPlan().fail_network(at=0.05, network=1))
+        cluster.start()
+        cluster.run_until_condition(
+            lambda: len(cluster.all_fault_reports()) >= 4, timeout=5.0)
+        diagnoses = cluster.diagnose_faults()
+        assert len(diagnoses) == 1
+        assert diagnoses[0].hypothesis is FaultHypothesis.TOTAL_NETWORK_FAILURE
+        assert diagnoses[0].network == 1

@@ -1,0 +1,244 @@
+"""Unit tests for fault models and the simulated LAN."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import LanConfig
+from repro.errors import ConfigError, TransportError
+from repro.net.faults import FaultPlan, NetworkFaultModel
+from repro.net.simlan import SimLan
+from repro.sim.scheduler import EventScheduler
+from repro.types import RingId
+from repro.wire.packets import Chunk, DataPacket, Token
+
+RING = RingId(4, 1)
+
+
+def packet(seq: int = 1, size: int = 100) -> DataPacket:
+    return DataPacket(sender=1, ring_id=RING, seq=seq,
+                      chunks=(Chunk.whole(1, b"x" * size),))
+
+
+class TestNetworkFaultModel:
+    def test_default_allows_everything(self):
+        model = NetworkFaultModel()
+        assert model.can_send(1)
+        assert model.can_deliver(1, 2)
+
+    def test_down_blocks_all(self):
+        model = NetworkFaultModel()
+        model.down = True
+        assert not model.can_send(1)
+        assert not model.can_deliver(1, 2)
+
+    def test_send_blocked(self):
+        model = NetworkFaultModel()
+        model.send_blocked.add(3)
+        assert not model.can_send(3)
+        assert model.can_send(1)
+
+    def test_recv_blocked(self):
+        model = NetworkFaultModel()
+        model.recv_blocked.add(3)
+        assert not model.can_deliver(1, 3)
+        assert model.can_deliver(1, 2)
+
+    def test_blocked_pairs_are_directional(self):
+        model = NetworkFaultModel()
+        model.blocked_pairs.add((1, 2))
+        assert not model.can_deliver(1, 2)
+        assert model.can_deliver(2, 1)
+
+    def test_partition_blocks_across_groups(self):
+        model = NetworkFaultModel()
+        model.set_partition([[1, 2], [3, 4]])
+        assert model.can_deliver(1, 2)
+        assert model.can_deliver(3, 4)
+        assert not model.can_deliver(1, 3)
+        assert not model.can_deliver(4, 2)
+
+    def test_partition_groups_must_be_disjoint(self):
+        model = NetworkFaultModel()
+        with pytest.raises(ConfigError):
+            model.set_partition([[1, 2], [2, 3]])
+
+    def test_heal_clears_everything(self):
+        model = NetworkFaultModel()
+        model.down = True
+        model.send_blocked.add(1)
+        model.recv_blocked.add(2)
+        model.blocked_pairs.add((1, 2))
+        model.set_partition([[1], [2]])
+        model.extra_loss_rate = 0.5
+        model.heal()
+        assert model.can_send(1)
+        assert model.can_deliver(1, 2)
+        assert model.extra_loss_rate == 0.0
+
+
+class TestFaultPlan:
+    def test_fluent_construction(self):
+        plan = (FaultPlan()
+                .fail_network(at=1.0, network=0)
+                .restore_network(at=2.0, network=0)
+                .sever_send(at=0.5, network=1, node=3)
+                .sever_recv(at=0.5, network=1, node=4)
+                .sever_pair(at=0.6, network=1, src=1, dst=2)
+                .partition(at=0.7, network=1, groups=[[1, 2], [3]])
+                .set_loss(at=0.8, network=1, rate=0.1))
+        assert len(plan.events) == 7
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().fail_network(at=-1.0, network=0)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().set_loss(at=0.0, network=0, rate=1.5)
+
+    def test_events_apply_to_model(self):
+        plan = FaultPlan().fail_network(at=1.0, network=0)
+        model = NetworkFaultModel()
+        plan.events[0].apply(model)
+        assert model.down
+
+    def test_event_str(self):
+        plan = FaultPlan().fail_network(at=1.0, network=2)
+        assert "net2" in str(plan.events[0])
+
+
+class TestSimLan:
+    def _lan(self, **kwargs) -> tuple:
+        scheduler = EventScheduler()
+        lan = SimLan(scheduler, LanConfig(**kwargs), random.Random(1))
+        return scheduler, lan
+
+    def test_broadcast_excludes_sender(self):
+        scheduler, lan = self._lan()
+        got = {1: [], 2: [], 3: []}
+        for node in got:
+            lan.attach(node, lambda src, p, node=node: got[node].append(p))
+        lan.transmit(1, packet())
+        scheduler.run()
+        assert got[1] == []
+        assert len(got[2]) == 1 and len(got[3]) == 1
+
+    def test_unicast_reaches_only_dest(self):
+        scheduler, lan = self._lan()
+        got = {1: [], 2: [], 3: []}
+        for node in got:
+            lan.attach(node, lambda src, p, node=node: got[node].append(p))
+        lan.transmit(1, Token(RING), dest=2)
+        scheduler.run()
+        assert len(got[2]) == 1
+        assert got[3] == []
+
+    def test_self_unicast_allowed(self):
+        """A singleton ring sends the token to itself through the network."""
+        scheduler, lan = self._lan()
+        got = []
+        lan.attach(1, lambda src, p: got.append(p))
+        lan.transmit(1, Token(RING), dest=1)
+        scheduler.run()
+        assert len(got) == 1
+
+    def test_per_sender_fifo(self):
+        scheduler, lan = self._lan()
+        got = []
+        lan.attach(2, lambda src, p: got.append(p.seq))
+        lan.attach(1, lambda src, p: None)
+        for seq in range(1, 6):
+            lan.transmit(1, packet(seq))
+        scheduler.run()
+        assert got == [1, 2, 3, 4, 5]
+
+    def test_medium_serialises_transmissions(self):
+        scheduler, lan = self._lan()
+        arrivals = []
+        lan.attach(2, lambda src, p: arrivals.append(scheduler.now()))
+        lan.attach(1, lambda src, p: None)
+        lan.transmit(1, packet(1, size=1000))
+        lan.transmit(1, packet(2, size=1000))
+        scheduler.run()
+        wire = LanConfig().wire_time(packet(1, size=1000).wire_size())
+        assert arrivals[1] - arrivals[0] == pytest.approx(wire)
+
+    def test_latency_applied(self):
+        scheduler, lan = self._lan(latency=1e-3)
+        arrivals = []
+        lan.attach(2, lambda src, p: arrivals.append(scheduler.now()))
+        lan.attach(1, lambda src, p: None)
+        lan.transmit(1, packet())
+        scheduler.run()
+        expected = LanConfig().wire_time(packet().wire_size()) + 1e-3
+        assert arrivals[0] == pytest.approx(expected)
+
+    def test_double_attach_rejected(self):
+        _, lan = self._lan()
+        lan.attach(1, lambda src, p: None)
+        with pytest.raises(TransportError):
+            lan.attach(1, lambda src, p: None)
+
+    def test_detach_stops_delivery(self):
+        scheduler, lan = self._lan()
+        got = []
+        lan.attach(1, lambda src, p: None)
+        lan.attach(2, lambda src, p: got.append(p))
+        lan.detach(2)
+        lan.transmit(1, packet())
+        scheduler.run()
+        assert got == []
+
+    def test_loss_rate_drops_frames_deterministically(self):
+        scheduler, lan = self._lan(loss_rate=0.5)
+        got = []
+        lan.attach(1, lambda src, p: None)
+        lan.attach(2, lambda src, p: got.append(p))
+        for seq in range(100):
+            lan.transmit(1, packet(seq))
+        scheduler.run()
+        assert 20 < len(got) < 80
+        assert lan.stats.frames_lost == 100 - len(got)
+
+    def test_fault_model_blocks_send(self):
+        scheduler, lan = self._lan()
+        got = []
+        lan.attach(1, lambda src, p: None)
+        lan.attach(2, lambda src, p: got.append(p))
+        lan.faults.send_blocked.add(1)
+        lan.transmit(1, packet())
+        scheduler.run()
+        assert got == []
+        assert lan.stats.frames_blocked >= 1
+        assert lan.stats.frames_sent == 0
+
+    def test_extra_loss_rate_composes(self):
+        scheduler, lan = self._lan(loss_rate=0.0)
+        got = []
+        lan.attach(1, lambda src, p: None)
+        lan.attach(2, lambda src, p: got.append(p))
+        lan.faults.extra_loss_rate = 1.0 - 1e-12
+        for seq in range(20):
+            lan.transmit(1, packet(seq))
+        scheduler.run()
+        assert got == []
+
+    def test_stats_accounting(self):
+        scheduler, lan = self._lan()
+        lan.attach(1, lambda src, p: None)
+        lan.attach(2, lambda src, p: None)
+        lan.transmit(1, packet())
+        scheduler.run()
+        assert lan.stats.frames_offered == 1
+        assert lan.stats.frames_sent == 1
+        assert lan.stats.deliveries == 1
+        assert lan.stats.busy_time > 0
+        assert lan.stats.utilization(elapsed=1.0) == pytest.approx(
+            lan.stats.busy_time)
+
+    def test_utilization_zero_elapsed(self):
+        _, lan = self._lan()
+        assert lan.stats.utilization(0.0) == 0.0

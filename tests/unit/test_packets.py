@@ -1,0 +1,106 @@
+"""Unit tests for the wire packet dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import RingId
+from repro.wire.packets import (
+    CHUNK_HEADER_BYTES,
+    Chunk,
+    ChunkFlags,
+    ChunkKind,
+    CommitToken,
+    DataPacket,
+    JoinMessage,
+    MemberInfo,
+    PacketType,
+    Token,
+    packet_type_of,
+)
+
+RING = RingId(seq=4, representative=1)
+
+
+class TestChunk:
+    def test_whole_sets_both_flags(self):
+        chunk = Chunk.whole(5, b"abc")
+        assert chunk.is_first and chunk.is_last
+        assert chunk.kind is ChunkKind.APP
+
+    def test_fragment_flags(self):
+        first = Chunk(ChunkKind.APP, 1, int(ChunkFlags.FIRST), b"a")
+        middle = Chunk(ChunkKind.APP, 1, 0, b"b")
+        last = Chunk(ChunkKind.APP, 1, int(ChunkFlags.LAST), b"c")
+        assert first.is_first and not first.is_last
+        assert not middle.is_first and not middle.is_last
+        assert last.is_last and not last.is_first
+
+    def test_wire_size_includes_header(self):
+        assert Chunk.whole(1, b"x" * 10).wire_size() == CHUNK_HEADER_BYTES + 10
+
+
+class TestDataPacket:
+    def test_wire_size_sums_chunks(self):
+        packet = DataPacket(sender=1, ring_id=RING, seq=1,
+                            chunks=(Chunk.whole(1, b"x" * 10),
+                                    Chunk.whole(2, b"y" * 20)))
+        assert packet.wire_size() == 2 * CHUNK_HEADER_BYTES + 30
+
+    def test_packet_type(self):
+        packet = DataPacket(sender=1, ring_id=RING, seq=1, chunks=())
+        assert packet_type_of(packet) is PacketType.DATA
+
+
+class TestToken:
+    def test_stamp_orders_by_seq_then_rotation(self):
+        ring = RING
+        assert Token(ring, seq=5, rotation=0).stamp < Token(ring, seq=6, rotation=0).stamp
+        assert Token(ring, seq=5, rotation=0).stamp < Token(ring, seq=5, rotation=1).stamp
+
+    def test_copy_is_deep_for_rtr(self):
+        token = Token(RING, seq=5, rtr=[1, 2])
+        clone = token.copy()
+        clone.rtr.append(3)
+        assert token.rtr == [1, 2]
+
+    def test_wire_size_grows_with_rtr(self):
+        empty = Token(RING).wire_size()
+        loaded = Token(RING, rtr=[1, 2, 3]).wire_size()
+        assert loaded > empty
+
+    def test_packet_type(self):
+        assert packet_type_of(Token(RING)) is PacketType.TOKEN
+
+
+class TestJoinMessage:
+    def test_wire_size_scales_with_sets(self):
+        small = JoinMessage(1, frozenset({1}), frozenset(), 0)
+        large = JoinMessage(1, frozenset(range(10)), frozenset(range(5)), 0)
+        assert large.wire_size() > small.wire_size()
+
+    def test_packet_type(self):
+        join = JoinMessage(1, frozenset({1}), frozenset(), 0)
+        assert packet_type_of(join) is PacketType.JOIN
+
+
+class TestCommitToken:
+    def test_successor_wraps(self):
+        commit = CommitToken(ring_id=RING, members=(1, 2, 3))
+        assert commit.successor_of(3) == 1
+
+    def test_copy_is_deep_for_info(self):
+        commit = CommitToken(ring_id=RING, members=(1, 2),
+                             info={1: MemberInfo(RING, 0, 0)})
+        clone = commit.copy()
+        clone.info[2] = MemberInfo(RING, 1, 1)
+        assert 2 not in commit.info
+
+    def test_packet_type(self):
+        commit = CommitToken(ring_id=RING, members=(1,))
+        assert packet_type_of(commit) is PacketType.COMMIT_TOKEN
+
+
+def test_packet_type_of_rejects_non_packet():
+    with pytest.raises(TypeError):
+        packet_type_of(object())

@@ -1,0 +1,162 @@
+"""Unit tests for the replicated coordination primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app import CounterMachine, LockManagerMachine, StateMachine
+
+
+class TestLockManagerMachine:
+    def test_implements_state_machine(self):
+        assert isinstance(LockManagerMachine(), StateMachine)
+
+    def test_acquire_free_lock(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("db", 1))
+        assert lm.owner("db") == 1
+        assert lm.grants == 1
+
+    def test_contention_queues_fairly(self):
+        lm = LockManagerMachine()
+        for node in (1, 2, 3):
+            lm.apply(LockManagerMachine.acquire("db", node))
+        assert lm.owner("db") == 1
+        assert lm.waiters("db") == [2, 3]
+        lm.apply(LockManagerMachine.release("db", 1))
+        assert lm.owner("db") == 2
+        assert lm.waiters("db") == [3]
+        lm.apply(LockManagerMachine.release("db", 2))
+        lm.apply(LockManagerMachine.release("db", 3))
+        assert lm.owner("db") is None
+
+    def test_duplicate_acquire_not_requeued(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("db", 1))
+        lm.apply(LockManagerMachine.acquire("db", 2))
+        lm.apply(LockManagerMachine.acquire("db", 2))
+        assert lm.waiters("db") == [2]
+
+    def test_reacquire_by_owner_is_noop(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("db", 1))
+        lm.apply(LockManagerMachine.acquire("db", 1))
+        assert lm.owner("db") == 1
+        assert lm.waiters("db") == []
+
+    def test_release_by_non_owner_drops_wait_only(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("db", 1))
+        lm.apply(LockManagerMachine.acquire("db", 2))
+        lm.apply(LockManagerMachine.release("db", 2))  # gives up waiting
+        assert lm.owner("db") == 1
+        assert lm.waiters("db") == []
+
+    def test_purge_releases_dead_owners_and_waiters(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("a", 1))
+        lm.apply(LockManagerMachine.acquire("a", 2))
+        lm.apply(LockManagerMachine.acquire("b", 2))
+        lm.apply(LockManagerMachine.acquire("b", 3))
+        lm.apply(LockManagerMachine.purge({2}))
+        assert lm.owner("a") == 1
+        assert lm.waiters("a") == []
+        assert lm.owner("b") == 3
+
+    def test_purge_chained_to_dead_waiter(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("a", 1))
+        lm.apply(LockManagerMachine.acquire("a", 2))
+        lm.apply(LockManagerMachine.acquire("a", 3))
+        lm.apply(LockManagerMachine.purge({1, 2}))
+        assert lm.owner("a") == 3
+
+    def test_holds(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("a", 1))
+        lm.apply(LockManagerMachine.acquire("b", 1))
+        lm.apply(LockManagerMachine.acquire("c", 2))
+        assert lm.holds(1) == ["a", "b"]
+
+    def test_snapshot_restore_roundtrip(self):
+        lm = LockManagerMachine()
+        lm.apply(LockManagerMachine.acquire("a", 1))
+        lm.apply(LockManagerMachine.acquire("a", 2))
+        clone = LockManagerMachine()
+        clone.restore(lm.snapshot())
+        assert clone.owner("a") == 1
+        assert clone.waiters("a") == [2]
+        assert clone.snapshot() == lm.snapshot()
+
+
+class TestCounterMachine:
+    def test_increment_and_value(self):
+        counter = CounterMachine()
+        counter.apply(CounterMachine.increment("seq"))
+        counter.apply(CounterMachine.increment("seq", by=5))
+        assert counter.value("seq") == 6
+        assert counter.value("other") == 0
+
+    def test_snapshot_restore(self):
+        counter = CounterMachine()
+        counter.apply(CounterMachine.increment("x", by=3))
+        clone = CounterMachine()
+        clone.restore(counter.snapshot())
+        assert clone.value("x") == 3
+
+    def test_implements_state_machine(self):
+        assert isinstance(CounterMachine(), StateMachine)
+
+
+class TestReplicatedLockManager:
+    def test_lock_manager_over_the_ring(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import make_cluster
+        from repro.app import ReplicatedStateMachine
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        rsms = {nid: ReplicatedStateMachine(cluster.nodes[nid],
+                                            LockManagerMachine())
+                for nid in cluster.nodes}
+        cluster.start()
+        # All four race for the same lock; the total order decides.
+        for nid in cluster.nodes:
+            rsms[nid].submit(LockManagerMachine.acquire("leader", nid))
+        cluster.run_for(0.1)
+        owners = {rsm.machine.owner("leader") for rsm in rsms.values()}
+        assert len(owners) == 1  # everyone agrees on one winner
+        winner = owners.pop()
+        # The winner releases; everyone agrees on the next owner.
+        rsms[winner].submit(LockManagerMachine.release("leader", winner))
+        cluster.run_for(0.1)
+        new_owners = {rsm.machine.owner("leader") for rsm in rsms.values()}
+        assert len(new_owners) == 1
+        assert new_owners.pop() != winner
+
+    def test_purge_on_membership_change(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import make_cluster
+        from repro.app import ReplicatedStateMachine
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        rsms = {nid: ReplicatedStateMachine(cluster.nodes[nid],
+                                            LockManagerMachine())
+                for nid in cluster.nodes}
+        cluster.start()
+        rsms[2].submit(LockManagerMachine.acquire("leader", 2))
+        cluster.run_for(0.05)
+        rsms[1].submit(LockManagerMachine.acquire("leader", 1))
+        cluster.run_for(0.1)
+        assert rsms[1].machine.owner("leader") == 2
+        cluster.crash_node(2)
+        cluster.run_until_condition(
+            lambda: len(cluster.nodes[1].membership) == 3, timeout=5.0)
+        # The application reacts to the config change by purging the dead.
+        rsms[1].submit(LockManagerMachine.purge({2}))
+        cluster.run_for(0.1)
+        for nid in (1, 3, 4):
+            assert rsms[nid].machine.owner("leader") == 1

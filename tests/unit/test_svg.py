@@ -1,0 +1,72 @@
+"""Unit tests for the SVG figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FigurePoint, FigureResult
+from repro.bench.svg import figure_to_svg, write_figure_svg
+from repro.types import ReplicationStyle
+
+
+def make_figure(points=None) -> FigureResult:
+    figure = FigureResult(name="t", title="Test figure", num_nodes=4,
+                          unit="msgs/s")
+    for style, size, rate in points or []:
+        figure.points.append(FigurePoint(
+            style=style, message_size=size, msgs_per_sec=rate,
+            kbytes_per_sec=rate * size / 1024, result=None))
+    return figure
+
+
+SAMPLE = [
+    (ReplicationStyle.NONE, 100, 20000),
+    (ReplicationStyle.NONE, 1024, 10000),
+    (ReplicationStyle.NONE, 16384, 700),
+    (ReplicationStyle.ACTIVE, 100, 19000),
+    (ReplicationStyle.ACTIVE, 1024, 9500),
+    (ReplicationStyle.ACTIVE, 16384, 660),
+]
+
+
+class TestFigureToSvg:
+    def test_valid_standalone_document(self):
+        svg = figure_to_svg(make_figure(SAMPLE))
+        assert svg.startswith("<svg xmlns=")
+        assert svg.endswith("</svg>")
+        import xml.etree.ElementTree as ET
+        root = ET.fromstring(svg)  # well-formed XML
+        assert root.tag.endswith("svg")
+
+    def test_contains_title_axes_and_legend(self):
+        svg = figure_to_svg(make_figure(SAMPLE))
+        assert "Test figure" in svg
+        assert "message length (bytes)" in svg
+        assert "msgs/s" in svg
+        assert ">none<" in svg
+        assert ">active<" in svg
+
+    def test_one_path_and_marker_per_series_point(self):
+        svg = figure_to_svg(make_figure(SAMPLE))
+        assert svg.count("<path") == 2  # two series
+        assert svg.count("<circle") == 6  # six data points
+
+    def test_empty_figure(self):
+        svg = figure_to_svg(make_figure([]))
+        assert "no data" in svg
+
+    def test_single_point_does_not_crash(self):
+        svg = figure_to_svg(make_figure([(ReplicationStyle.NONE, 700, 9000)]))
+        assert "<circle" in svg
+
+    def test_write_to_file(self, tmp_path):
+        path = str(tmp_path / "fig.svg")
+        returned = write_figure_svg(make_figure(SAMPLE), path)
+        assert returned == path
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_log_ticks_cover_decades(self):
+        from repro.bench.svg import _log_ticks
+        assert _log_ticks(100, 20000) == [100, 1000, 10000]
+        assert _log_ticks(1, 10) == [1, 10]

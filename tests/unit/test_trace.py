@@ -1,0 +1,97 @@
+"""Unit tests for the protocol flight recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_emit_records_time_and_fields(self):
+        clock = [1.5]
+        tracer = Tracer(lambda: clock[0])
+        tracer.emit(1, "membership", "gather", "token loss")
+        clock[0] = 2.0
+        tracer.emit(2, "fault", "marked")
+        events = tracer.events()
+        assert events[0] == TraceEvent(1.5, 1, "membership", "gather",
+                                       "token loss")
+        assert events[1].time == 2.0
+        assert len(tracer) == 2
+
+    def test_filters(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.emit(1, "a", "x")
+        tracer.emit(2, "a", "y")
+        tracer.emit(1, "b", "x")
+        assert len(tracer.events(category="a")) == 2
+        assert len(tracer.events(node=1)) == 2
+        assert len(tracer.events(event="x")) == 2
+        assert len(tracer.events(category="a", node=1)) == 1
+
+    def test_bounded_capacity(self):
+        tracer = Tracer(lambda: 0.0, capacity=10)
+        for i in range(25):
+            tracer.emit(1, "c", f"e{i}")
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        assert tracer.events()[0].event == "e15"
+
+    def test_disabled(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.enabled = False
+        tracer.emit(1, "c", "e")
+        assert len(tracer) == 0
+
+    def test_bind(self):
+        tracer = Tracer(lambda: 0.0)
+        emit = tracer.bind(7, "membership")
+        emit("gather", "why")
+        assert tracer.events()[0].node == 7
+        assert tracer.events()[0].category == "membership"
+
+    def test_format(self):
+        tracer = Tracer(lambda: 0.25)
+        assert tracer.format() == "(no events)"
+        tracer.emit(3, "membership", "ring-installed", "ring 8")
+        text = tracer.format()
+        assert "node 3" in text
+        assert "ring-installed" in text
+        assert "t=0.25" in text
+
+
+class TestClusterTracing:
+    def test_membership_milestones_recorded(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import make_cluster
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        cluster.start()
+        cluster.run_for(0.05)
+        installs = cluster.tracer.events(event="ring-installed")
+        assert len(installs) == 4  # one per node at boot
+        cluster.crash_node(2)
+        cluster.run_for(1.0)
+        assert cluster.tracer.events(event="token-loss")
+        assert cluster.tracer.events(event="gather")
+        assert cluster.tracer.events(event="form-ring")
+        final_installs = cluster.tracer.events(event="ring-installed")
+        assert any("members [1, 3, 4]" in e.detail for e in final_installs)
+
+    def test_restart_traced(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import make_cluster
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        cluster.start()
+        cluster.run_for(0.02)
+        cluster.crash_node(4)
+        cluster.run_for(0.5)
+        cluster.restart_node(4)
+        cluster.run_for(0.5)
+        assert cluster.tracer.events(event="restart", node=4)
