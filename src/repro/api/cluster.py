@@ -39,6 +39,17 @@ class SimCluster:
                                self.lans, config.lan, tracer=self.tracer)
             for node_id in range(1, config.num_nodes + 1)
         }
+        #: Online invariant checker (:mod:`repro.check`), None when off.
+        self.checker = None
+        if config.invariants != "off":
+            from ..check import CheckMode, InvariantChecker
+            self.checker = InvariantChecker(
+                mode=CheckMode(config.invariants),
+                now_fn=self.scheduler.now, tracer=self.tracer)
+            for lan in self.lans:
+                self.checker.attach_lan(lan)
+            for node in self.nodes.values():
+                self.checker.attach_node(node)
 
     # ----- lifecycle -----
 
@@ -138,6 +149,11 @@ class SimCluster:
         fresh = TotemNode(node_id, self.config.totem, self.scheduler,
                           self.lans, self.config.lan, tracer=self.tracer)
         self.nodes[node_id] = fresh
+        if self.checker is not None:
+            # Fresh probe for the fresh incarnation; the abandoned
+            # incarnation keeps its old probe, so a timer that leaks past
+            # stop() is still caught.
+            self.checker.attach_node(fresh)
         self.tracer.emit(node_id, "membership", "restart",
                          "fresh incarnation booted")
         fresh.start(None)
@@ -211,6 +227,16 @@ class SimCluster:
                                     f"EVS violated in config {config_id} "
                                     f"between nodes {a} and {b} at position "
                                     f"{k}: {seq_a[k][:2]}... != {seq_b[k][:2]}...")
+
+    def check_invariants(self) -> None:
+        """Run the checker's final ledger validation (no-op when off).
+
+        In strict mode this raises on the first ledger imbalance; tests
+        call it after a run so end-of-run accounting is validated even if
+        no further token arrives to trigger the online check.
+        """
+        if self.checker is not None:
+            self.checker.check_all()
 
     def all_fault_reports(self):
         reports = []

@@ -1,0 +1,31 @@
+"""Online protocol-invariant checking (docs/INVARIANTS.md).
+
+The stack's ``probe``/``observer`` hooks feed an
+:class:`InvariantChecker` that validates the paper's correctness
+requirements (A1-A6, P1-P5) while a simulation runs.  Enable it per
+cluster via :attr:`repro.config.ClusterConfig.invariants` (``"observe"``
+or ``"strict"``), or run randomized fault sweeps with the
+``totem-check`` / ``python -m repro.check`` CLI.
+"""
+
+from .invariants import (
+    INVARIANTS,
+    CheckMode,
+    InvariantChecker,
+    InvariantViolation,
+    NodeProbe,
+)
+from .sweep import SWEEP_STYLES, SweepCase, SweepReport, run_case, run_sweep
+
+__all__ = [
+    "INVARIANTS",
+    "CheckMode",
+    "InvariantChecker",
+    "InvariantViolation",
+    "NodeProbe",
+    "SWEEP_STYLES",
+    "SweepCase",
+    "SweepReport",
+    "run_case",
+    "run_sweep",
+]

@@ -1,0 +1,201 @@
+"""Randomized fault sweeps under the invariant checker.
+
+One sweep case = one deterministic simulation: a cluster of one replication
+style, a :class:`~repro.net.faults.FaultPlan` drawn from a seeded RNG
+(i.i.d. loss, Gilbert-Elliott bursts, total network failures, severed
+send/receive paths, partitions), random application traffic, and the
+invariant checker watching every protocol event.  A correct implementation
+reports zero violations for every seed; the ``repro.check sweep`` CLI runs
+batches of cases across all three replication styles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..api.cluster import SimCluster
+from ..config import ClusterConfig, TotemConfig
+from ..errors import InvariantViolationError
+from ..net.faults import FaultPlan
+from ..types import ReplicationStyle
+from .invariants import CheckMode, InvariantViolation
+
+#: The styles a default sweep covers (every redundant style).
+SWEEP_STYLES: Sequence[ReplicationStyle] = (
+    ReplicationStyle.ACTIVE,
+    ReplicationStyle.PASSIVE,
+    ReplicationStyle.ACTIVE_PASSIVE,
+)
+
+_STYLE_NETWORKS = {
+    ReplicationStyle.NONE: 1,
+    ReplicationStyle.ACTIVE: 2,
+    ReplicationStyle.PASSIVE: 2,
+    ReplicationStyle.ACTIVE_PASSIVE: 3,
+}
+
+
+def random_fault_plan(rng: random.Random, num_networks: int,
+                      num_nodes: int, duration: float) -> FaultPlan:
+    """Draw a reproducible fault script for one sweep case.
+
+    Faults start inside the first 70 % of the run; every network that was
+    disturbed is healed at 85 % so the final stretch also exercises the
+    restore paths (monitor counter resets, ring re-merge).
+    """
+    plan = FaultPlan()
+    window_end = duration * 0.7
+    disturbed = set()
+    for net in range(num_networks):
+        if rng.random() < 0.6:
+            plan.set_loss(at=rng.uniform(0.0, window_end), network=net,
+                          rate=rng.uniform(0.01, 0.15))
+            disturbed.add(net)
+        if rng.random() < 0.5:
+            plan.set_burst_loss(at=rng.uniform(0.0, window_end), network=net,
+                                p_good_to_bad=rng.uniform(0.002, 0.02),
+                                p_bad_to_good=rng.uniform(0.1, 0.5))
+            disturbed.add(net)
+        if num_networks > 1 and rng.random() < 0.4:
+            start = rng.uniform(0.0, window_end)
+            plan.fail_network(at=start, network=net)
+            plan.restore_network(
+                at=start + rng.uniform(duration * 0.05, duration * 0.25),
+                network=net)
+        if rng.random() < 0.4:
+            node = rng.randrange(1, num_nodes + 1)
+            at = rng.uniform(0.0, window_end)
+            if rng.random() < 0.5:
+                plan.sever_send(at=at, network=net, node=node)
+            else:
+                plan.sever_recv(at=at, network=net, node=node)
+            disturbed.add(net)
+        if num_nodes >= 2 and rng.random() < 0.25:
+            members = list(range(1, num_nodes + 1))
+            rng.shuffle(members)
+            cut = rng.randrange(1, num_nodes)
+            plan.partition(at=rng.uniform(0.0, window_end), network=net,
+                           groups=[members[:cut], members[cut:]])
+            disturbed.add(net)
+    for net in sorted(disturbed):
+        plan.restore_network(at=duration * 0.85, network=net)
+    return plan
+
+
+@dataclass
+class SweepCase:
+    """The outcome of one randomized run."""
+
+    style: ReplicationStyle
+    seed: int
+    num_nodes: int
+    duration: float
+    fault_events: int
+    delivered: int
+    violations: List[InvariantViolation] = field(default_factory=list)
+    #: Strict-mode abort message, if the run was cut short by a violation.
+    error: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and self.error is None
+
+    def summary(self) -> str:
+        status = ("ok" if self.clean
+                  else f"{len(self.violations)} violation(s)"
+                       + (" [aborted]" if self.error else ""))
+        return (f"{self.style.value:<15} seed={self.seed:<6} "
+                f"faults={self.fault_events:<3} "
+                f"delivered={self.delivered:<6} {status}")
+
+
+def run_case(style: ReplicationStyle, seed: int, *,
+             num_nodes: int = 4, duration: float = 1.0,
+             mode: CheckMode = CheckMode.OBSERVE,
+             messages: int = 120) -> SweepCase:
+    """Run one randomized case; pure function of its arguments."""
+    rng = random.Random(f"{seed}:{style.value}")
+    num_networks = _STYLE_NETWORKS[style]
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        totem=TotemConfig(replication=style, num_networks=num_networks),
+        seed=seed,
+        invariants=mode.value)
+    cluster = SimCluster(config)
+    plan = random_fault_plan(rng, num_networks, num_nodes, duration)
+    cluster.apply_fault_plan(plan)
+    for _ in range(messages):
+        at = rng.uniform(0.0, duration * 0.9)
+        node_id = rng.randrange(1, num_nodes + 1)
+        payload = bytes([rng.randrange(256)]) * rng.randrange(16, 256)
+        cluster.scheduler.call_at(
+            at, lambda n=node_id, p=payload: cluster.nodes[n].try_submit(p))
+    cluster.start()
+    error: Optional[str] = None
+    try:
+        cluster.run_until(duration)
+        cluster.checker.check_all()
+    except InvariantViolationError as exc:
+        error = str(exc)
+    return SweepCase(
+        style=style, seed=seed, num_nodes=num_nodes, duration=duration,
+        fault_events=len(plan.events),
+        delivered=cluster.total_delivered(),
+        violations=list(cluster.checker.violations),
+        error=error)
+
+
+@dataclass
+class SweepReport:
+    """All cases of one sweep."""
+
+    cases: List[SweepCase] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(case.clean for case in self.cases)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(case.violations) for case in self.cases)
+
+    #: A buggy engine violates the ledger on every token receipt; cap the
+    #: per-case dump so the report stays readable.
+    MAX_VIOLATIONS_SHOWN = 8
+
+    def render(self, include_cases: bool = True) -> str:
+        lines = [case.summary() for case in self.cases] if include_cases else []
+        for case in self.cases:
+            shown = case.violations[:self.MAX_VIOLATIONS_SHOWN]
+            for violation in shown:
+                lines.append(f"  {case.style.value} seed={case.seed}: "
+                             f"{violation}")
+            hidden = len(case.violations) - len(shown)
+            if hidden:
+                lines.append(f"  {case.style.value} seed={case.seed}: "
+                             f"... and {hidden} more")
+        verdict = ("PASS: no invariant violations"
+                   if self.clean else
+                   f"FAIL: {self.total_violations} invariant violation(s)")
+        lines.append(f"{len(self.cases)} case(s) — {verdict}")
+        return "\n".join(lines)
+
+
+def run_sweep(styles: Sequence[ReplicationStyle] = SWEEP_STYLES,
+              runs_per_style: int = 3, base_seed: int = 1, *,
+              num_nodes: int = 4, duration: float = 1.0,
+              mode: CheckMode = CheckMode.OBSERVE,
+              messages: int = 120,
+              progress=None) -> SweepReport:
+    """Run ``runs_per_style`` randomized cases for each style."""
+    report = SweepReport()
+    for style in styles:
+        for run in range(runs_per_style):
+            case = run_case(style, base_seed + run, num_nodes=num_nodes,
+                            duration=duration, mode=mode, messages=messages)
+            report.cases.append(case)
+            if progress is not None:
+                progress(case)
+    return report

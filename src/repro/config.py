@@ -231,7 +231,16 @@ class ClusterConfig:
     totem: TotemConfig = field(default_factory=TotemConfig)
     lan: LanConfig = field(default_factory=LanConfig)
     seed: int = 1
+    #: Online protocol-invariant checking (:mod:`repro.check`): ``"off"``
+    #: (default — benchmarks measure the protocol, not the checker),
+    #: ``"observe"`` (record violations) or ``"strict"`` (raise on the
+    #: first violation).  The test suite turns this on cluster-wide.
+    invariants: str = "off"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ConfigError("num_nodes must be >= 1")
+        if self.invariants not in ("off", "observe", "strict"):
+            raise ConfigError(
+                f"invariants must be 'off', 'observe' or 'strict', "
+                f"got {self.invariants!r}")

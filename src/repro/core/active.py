@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..types import NodeId
+from ..types import NodeId, TIMEOUT_NETWORK
 from ..wire.packets import DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import ProblemCounterMonitor
@@ -43,6 +43,12 @@ class ActiveReplication(ReplicationEngine):
     def start(self) -> None:
         self._schedule_decay()
 
+    def _cancel_timers(self) -> None:
+        self._stop_token_timer()
+        if self._decay_timer is not None:
+            self._decay_timer.cancel()
+            self._decay_timer = None
+
     def _schedule_decay(self) -> None:
         if self._stopped:
             return
@@ -50,6 +56,9 @@ class ActiveReplication(ReplicationEngine):
             self.config.problem_counter_decay_interval, self._on_decay)
 
     def _on_decay(self) -> None:
+        self._note_timer_fired("decay")
+        if self._stopped:
+            return
         self.monitor.decay()
         self._schedule_decay()
 
@@ -73,6 +82,15 @@ class ActiveReplication(ReplicationEngine):
         self.srp.on_data(packet, network)
 
     def recv_token(self, token: Token, network: int) -> None:
+        if token.ring_id != self.srp.ring_id:
+            # A token for a ring we are not on — typically a delayed copy
+            # from a *previous* ring incarnation.  It must not be mistaken
+            # for a new token: resetting the merge state here would clobber
+            # ``_last_token``/``_recv_flags`` and let the current ring's
+            # token be passed up a second time when its copies re-arrive.
+            # The SRP would discard it anyway (wrong ring), so drop it.
+            self.stats.foreign_ring_tokens += 1
+            return
         last = self._last_token
         is_new = (last is None
                   or token.ring_id != last.ring_id
@@ -91,6 +109,7 @@ class ActiveReplication(ReplicationEngine):
             if self._delivered_current:
                 self.stats.late_token_copies += 1
         else:
+            self.stats.stale_tokens_dropped += 1
             return  # older than the current token: a stale retransmission
 
         if self._delivered_current:
@@ -105,6 +124,8 @@ class ActiveReplication(ReplicationEngine):
         assert self._last_token is not None
         self._delivered_current = True
         self.stats.tokens_delivered += 1
+        if self.probe is not None:
+            self.probe.engine_token_up(self._last_token, network)
         self.srp.on_token(self._last_token, network)
 
     # ----- token timer (requirements A4-A6) -----
@@ -120,11 +141,14 @@ class ActiveReplication(ReplicationEngine):
             self._token_timer = None
 
     def _on_token_timeout(self) -> None:
+        self._note_timer_fired("token")
         self._token_timer = None
+        if self._stopped:
+            return
         if self._last_token is None or self._delivered_current:
             return
         self.stats.token_timer_expiries += 1
         for i in range(self.config.num_networks):
             if not self._recv_flags[i]:
                 self.monitor.token_copy_missing(i)
-        self._deliver_current(network=-1)
+        self._deliver_current(network=TIMEOUT_NETWORK)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..types import NodeId
+from ..types import NodeId, TIMEOUT_NETWORK
 from ..wire.packets import DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import RecvCountMonitor
@@ -56,6 +56,13 @@ class ActivePassiveReplication(ReplicationEngine):
     def start(self) -> None:
         self._schedule_topup()
 
+    def _cancel_timers(self) -> None:
+        self._stop_assemble_timer()
+        self._stop_gap_timer()
+        if self._topup_timer is not None:
+            self._topup_timer.cancel()
+            self._topup_timer = None
+
     def _schedule_topup(self) -> None:
         if self._stopped:
             return
@@ -63,6 +70,9 @@ class ActivePassiveReplication(ReplicationEngine):
             self.config.recv_count_topup_interval, self._on_topup)
 
     def _on_topup(self) -> None:
+        self._note_timer_fired("topup")
+        if self._stopped:
+            return
         self.token_monitor.topup()
         for monitor in self.message_monitors.values():
             monitor.topup()
@@ -126,6 +136,12 @@ class ActivePassiveReplication(ReplicationEngine):
 
     def recv_token(self, token: Token, network: int) -> None:
         self.token_monitor.record(network)
+        if token.ring_id != self.srp.ring_id:
+            # Same guard as active replication: a delayed token from a
+            # previous ring must not reset the stage-2 assembly state of the
+            # current ring's token.
+            self.stats.foreign_ring_tokens += 1
+            return
         last = self._last_token
         is_new = (last is None
                   or token.ring_id != last.ring_id
@@ -142,6 +158,7 @@ class ActivePassiveReplication(ReplicationEngine):
             if self._delivered_current:
                 self.stats.late_token_copies += 1
         else:
+            self.stats.stale_tokens_dropped += 1
             return
 
         if self._delivered_current:
@@ -155,32 +172,54 @@ class ActivePassiveReplication(ReplicationEngine):
         assert self._last_token is not None
         self._delivered_current = True
         token = self._last_token
+        if self.probe is not None:
+            self.probe.engine_token_up(token, network)
+        if self._buffered_token is not None:
+            # A newer token finished assembly while an older one was still
+            # gap-buffered: the new token supersedes it (same reasoning as
+            # passive replication's supersession handling).
+            self._drop_superseded()
         if (token.ring_id == self.srp.ring_id
                 and self.srp.has_gaps_up_to(token.seq)):
             self._buffered_token = token
             self.stats.tokens_buffered += 1
-            if self._gap_timer is None:
-                self._gap_timer = self.runtime.set_timer(
-                    self.config.passive_token_timeout, self._on_gap_timeout)
+            self._start_gap_timer()
             return
         self.stats.tokens_delivered += 1
         self.srp.on_token(token, network)
 
-    def _release_buffered(self, network: int) -> None:
-        token = self._buffered_token
-        self._buffered_token = None
+    def _start_gap_timer(self) -> None:
+        self._stop_gap_timer()
+        self._gap_timer = self.runtime.set_timer(
+            self.config.passive_token_timeout, self._on_gap_timeout)
+
+    def _stop_gap_timer(self) -> None:
         if self._gap_timer is not None:
             self._gap_timer.cancel()
             self._gap_timer = None
+
+    def _drop_superseded(self) -> None:
+        self._buffered_token = None
+        self._stop_gap_timer()
+        self.stats.tokens_superseded += 1
+
+    def _release_buffered(self, network: int) -> None:
+        token = self._buffered_token
+        self._buffered_token = None
+        self._stop_gap_timer()
         if token is not None:
+            self.stats.tokens_buffer_released += 1
             self.stats.tokens_delivered += 1
             self.srp.on_token(token, network)
 
     def _on_gap_timeout(self) -> None:
+        self._note_timer_fired("gap")
         self._gap_timer = None
+        if self._stopped:
+            return
         if self._buffered_token is not None:
             self.stats.token_timer_expiries += 1
-            self._release_buffered(network=-1)
+            self._release_buffered(network=TIMEOUT_NETWORK)
 
     # ----- stage-2 token timer -----
 
@@ -195,8 +234,11 @@ class ActivePassiveReplication(ReplicationEngine):
             self._assemble_timer = None
 
     def _on_assemble_timeout(self) -> None:
+        self._note_timer_fired("assemble")
         self._assemble_timer = None
+        if self._stopped:
+            return
         if self._last_token is None or self._delivered_current:
             return
         self.stats.token_timer_expiries += 1
-        self._deliver_assembled(network=-1)
+        self._deliver_assembled(network=TIMEOUT_NETWORK)

@@ -45,6 +45,15 @@ class RrpStats:
     tokens_buffered: int = 0
     token_timer_expiries: int = 0
     late_token_copies: int = 0
+    #: Buffered tokens later passed up (by timer expiry or gap closure).
+    tokens_buffer_released: int = 0
+    #: Buffered tokens discarded because a newer token superseded them.
+    tokens_superseded: int = 0
+    #: Tokens discarded as older than the current/buffered token.
+    stale_tokens_dropped: int = 0
+    #: Tokens discarded because they belong to a ring the SRP is not on
+    #: (e.g. a delayed token from a previous ring incarnation).
+    foreign_ring_tokens: int = 0
 
 
 class ReplicationEngine:
@@ -62,6 +71,8 @@ class ReplicationEngine:
         self.stats = RrpStats()
         self._srp = None
         self._stopped = False
+        #: Optional :class:`repro.check.NodeProbe` observing protocol events.
+        self.probe = None
         stack.set_receive_handler(self.on_packet)
 
     # ----- wiring -----
@@ -75,8 +86,23 @@ class ReplicationEngine:
         """Start periodic monitor timers (style-specific)."""
 
     def stop(self) -> None:
-        """Stop periodic monitor timers (for an abandoned incarnation)."""
+        """Stop this engine (for an abandoned incarnation).
+
+        Cancels every pending engine timer: a stopped incarnation must never
+        deliver a token (or decay a monitor) into an SRP that has itself been
+        stopped — a pending token timeout surviving ``stop()`` can otherwise
+        resurrect protocol activity after a restart.
+        """
         self._stopped = True
+        self._cancel_timers()
+
+    def _cancel_timers(self) -> None:
+        """Cancel every pending engine timer (style-specific)."""
+
+    def _note_timer_fired(self, name: str) -> None:
+        """Report a timer callback to the invariant probe (if attached)."""
+        if self.probe is not None:
+            self.probe.engine_timer_fired(name, self._stopped)
 
     @property
     def srp(self):
@@ -109,6 +135,8 @@ class ReplicationEngine:
             self.recv_data(packet, network)
         elif ptype is PacketType.TOKEN:
             assert isinstance(packet, Token)
+            if self.probe is not None:
+                self.probe.engine_recv_token(packet, network)
             self.recv_token(packet, network)
         elif ptype is PacketType.JOIN:
             assert isinstance(packet, JoinMessage)

@@ -40,6 +40,11 @@ class ProblemCounterMonitor:
 
     def token_copy_missing(self, network: NetworkIndex) -> None:
         """Called on token-timer expiry for each network that stayed silent."""
+        if network < 0:
+            # TIMEOUT_NETWORK (or any other sentinel) must never reach the
+            # counters: Python's negative indexing would silently charge the
+            # *last* network for the problem.
+            raise ValueError(f"invalid network index {network}")
         if self._faults.is_faulty(network):
             return
         self.counters[network] += 1
@@ -73,6 +78,10 @@ class RecvCountMonitor:
 
     def record(self, network: NetworkIndex) -> None:
         """Count a reception on ``network`` and re-check the lag rule."""
+        if network < 0:
+            # See ProblemCounterMonitor.token_copy_missing: a sentinel index
+            # must fail loudly, not count against the last network.
+            raise ValueError(f"invalid network index {network}")
         self.recv_count[network] += 1
         best = max(self.recv_count)
         for i, count in enumerate(self.recv_count):

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..types import NodeId
+from ..types import NodeId, TIMEOUT_NETWORK
 from ..wire.packets import DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import RecvCountMonitor
@@ -51,6 +51,12 @@ class PassiveReplication(ReplicationEngine):
     def start(self) -> None:
         self._schedule_topup()
 
+    def _cancel_timers(self) -> None:
+        self._stop_token_timer()
+        if self._topup_timer is not None:
+            self._topup_timer.cancel()
+            self._topup_timer = None
+
     def _schedule_topup(self) -> None:
         if self._stopped:
             return
@@ -58,6 +64,9 @@ class PassiveReplication(ReplicationEngine):
             self.config.recv_count_topup_interval, self._on_topup)
 
     def _on_topup(self) -> None:
+        self._note_timer_fired("topup")
+        if self._stopped:
+            return
         self.token_monitor.topup()
         for monitor in self.message_monitors.values():
             monitor.topup()
@@ -110,32 +119,69 @@ class PassiveReplication(ReplicationEngine):
 
     def recv_token(self, token: Token, network: int) -> None:
         self.token_monitor.record(network)
+        buffered = self._buffered_token
+        if (buffered is not None and token.ring_id == buffered.ring_id
+                and token.stamp <= buffered.stamp):
+            # A retransmitted copy of (or a straggler older than) the token
+            # already waiting in the buffer: the buffered one subsumes it.
+            # Re-buffering it would double-count ``tokens_buffered`` and the
+            # original code let it inherit the old token's partially elapsed
+            # timer.
+            self.stats.stale_tokens_dropped += 1
+            return
         if (token.ring_id == self.srp.ring_id
                 and self.srp.has_gaps_up_to(token.seq)):
             # Messages are missing: they may be merely delayed on another
             # network (Figure 3 scenarios).  Buffer the token (P1).
+            if buffered is not None:
+                # A newer token arrived while an older one was buffered.
+                # The new token subsumes the old one's sequencing state (the
+                # SRP would reject the old one as a duplicate stamp), so the
+                # old token is dropped explicitly, counted, and the timer is
+                # restarted so the new token gets its full timeout.
+                self._drop_superseded()
             self._buffered_token = token
             self.stats.tokens_buffered += 1
-            if self._token_timer is None:
-                self._token_timer = self.runtime.set_timer(
-                    self.config.passive_token_timeout, self._on_token_timeout)
+            self._start_token_timer()
             return
+        if buffered is not None and token.ring_id == self.srp.ring_id:
+            # A newer current-ring token with nothing missing: deliver it
+            # and retire the superseded buffered token (its timer must not
+            # fire later and push a stale token into the SRP).  A foreign
+            # ring's token (passed up for the SRP to discard) does not
+            # supersede anything.
+            self._drop_superseded()
         self.stats.tokens_delivered += 1
         self.srp.on_token(token, network)
+
+    def _start_token_timer(self) -> None:
+        self._stop_token_timer()
+        self._token_timer = self.runtime.set_timer(
+            self.config.passive_token_timeout, self._on_token_timeout)
+
+    def _stop_token_timer(self) -> None:
+        if self._token_timer is not None:
+            self._token_timer.cancel()
+            self._token_timer = None
+
+    def _drop_superseded(self) -> None:
+        self._buffered_token = None
+        self._stop_token_timer()
+        self.stats.tokens_superseded += 1
 
     def _release_buffered(self, network: int) -> None:
         token = self._buffered_token
         self._buffered_token = None
-        if self._token_timer is not None:
-            self._token_timer.cancel()
-            self._token_timer = None
+        self._stop_token_timer()
         if token is not None:
+            self.stats.tokens_buffer_released += 1
             self.stats.tokens_delivered += 1
             self.srp.on_token(token, network)
 
     def _on_token_timeout(self) -> None:
+        self._note_timer_fired("token")
         self._token_timer = None
-        if self._buffered_token is None:
+        if self._stopped or self._buffered_token is None:
             return
         self.stats.token_timer_expiries += 1
-        self._release_buffered(network=-1)
+        self._release_buffered(network=TIMEOUT_NETWORK)

@@ -33,6 +33,8 @@ class NetworkFaultState:
         self._now_fn = now_fn or (lambda: 0.0)
         self.reports: List[FaultReport] = []
         self._restore_listeners: List = []
+        #: Optional :class:`repro.check.NodeProbe` observing fault marks.
+        self.probe = None
 
     def add_restore_listener(self, listener) -> None:
         """Register ``listener(network)`` to run when a fault is cleared.
@@ -74,6 +76,8 @@ class NetworkFaultState:
                          detail + " (refused: last operational network)")
             return False
         self._faulty[network] = True
+        if self.probe is not None:
+            self.probe.network_marked_faulty(network, self.operational_count())
         self._report(network, FaultKind.NETWORK_FAILED, detail)
         return True
 

@@ -37,3 +37,7 @@ class SimulationError(TotemError):
 
 class TransportError(TotemError):
     """A transport (simulated or UDP) failed to carry out an operation."""
+
+
+class InvariantViolationError(TotemError):
+    """A protocol invariant was violated (strict-mode :mod:`repro.check`)."""

@@ -67,6 +67,10 @@ class SimLan:
         self._generations: Dict[NodeId, int] = {}
         #: Virtual time at which the medium finishes its current backlog.
         self._medium_free_at: float = 0.0
+        #: Optional delivery observer ``(network, src, dst, packet, arrival)``
+        #: called for every frame actually scheduled for delivery (used by
+        #: :mod:`repro.check` to know which packets are in flight).
+        self.observer: Optional[Callable[[int, NodeId, NodeId, object, float], None]] = None
 
     # ----- attachment -----
 
@@ -142,6 +146,8 @@ class SimLan:
                 continue
             self.stats.deliveries += 1
             self._scheduler.call_at(arrival, self._receivers[node], src, packet)
+            if self.observer is not None:
+                self.observer(self.index, src, node, packet, arrival)
 
 
 class LanPort:

@@ -140,6 +140,8 @@ class TotemSrp:
         self.on_config_change: ConfigChangeFn = on_config_change or (lambda change: None)
         #: Flight-recorder hook: ``trace(event, detail)`` (see repro.trace).
         self.trace = trace or (lambda event, detail="": None)
+        #: Optional :class:`repro.check.NodeProbe` observing protocol events.
+        self.probe = None
 
         self.state = SrpState.GATHER
         self.ring_id = RingId(seq=0, representative=node_id)
@@ -313,7 +315,15 @@ class TotemSrp:
                 self._try_deliver()
 
     def on_token(self, token: Token, network: int = 0) -> None:
-        """The regular token arrived (the RRP has already merged copies)."""
+        """The regular token arrived (the RRP has already merged copies).
+
+        ``network`` identifies the network the (final) token copy arrived
+        on, or :data:`~repro.types.TIMEOUT_NETWORK` when the RRP released
+        the token on a timer expiry; it is observability-only and must never
+        be used to index per-network state.
+        """
+        if self.probe is not None:
+            self.probe.srp_token_up(token, network)
         if token.ring_id != self.ring_id:
             return
         if self.state not in (SrpState.OPERATIONAL, SrpState.RECOVERY):
@@ -324,6 +334,8 @@ class TotemSrp:
             return
         self._last_accepted_stamp = stamp
         self.stats.tokens_accepted += 1
+        if self.probe is not None:
+            self.probe.srp_token_accepted(token, network)
         now = self.runtime.now()
         if self._last_token_accept_time is not None:
             rotation = now - self._last_token_accept_time
@@ -520,6 +532,8 @@ class TotemSrp:
                 token.rtr.append(seq)
                 present.add(seq)
                 self.stats.retransmission_requests += 1
+                if self.probe is not None:
+                    self.probe.retransmission_requested(self.ring_id, seq)
 
     def _broadcast_new_messages(self, token: Token) -> None:
         allowance = self._flow.allowance(token)

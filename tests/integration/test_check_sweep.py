@@ -1,0 +1,51 @@
+"""Integration smoke tests for the ``repro.check`` CLI and sweep driver."""
+
+from __future__ import annotations
+
+from repro.check import INVARIANTS, CheckMode, SWEEP_STYLES, run_sweep
+from repro.check.cli import main
+
+
+class TestSweepDriver:
+    def test_quick_sweep_all_styles_clean(self):
+        report = run_sweep(runs_per_style=1, base_seed=11, duration=0.4,
+                           mode=CheckMode.STRICT, messages=40)
+        assert len(report.cases) == len(SWEEP_STYLES)
+        assert report.clean, report.render()
+        assert all(case.fault_events > 0 for case in report.cases)
+
+    def test_report_renders_verdict(self):
+        report = run_sweep(runs_per_style=1, base_seed=2, duration=0.3,
+                           messages=30)
+        text = report.render()
+        assert "PASS: no invariant violations" in text
+        for style in SWEEP_STYLES:
+            assert style.value in text
+
+    def test_cases_are_deterministic(self):
+        from repro.check import run_case
+        from repro.types import ReplicationStyle
+        a = run_case(ReplicationStyle.PASSIVE, 5, duration=0.3, messages=30)
+        b = run_case(ReplicationStyle.PASSIVE, 5, duration=0.3, messages=30)
+        assert a.delivered == b.delivered
+        assert a.fault_events == b.fault_events
+
+
+class TestCli:
+    def test_sweep_quick_exits_zero(self, capsys):
+        assert main(["sweep", "--quick", "--quiet", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS: no invariant violations" in out
+
+    def test_rules_lists_full_catalogue(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for name, (requirement, _) in INVARIANTS.items():
+            assert name in out
+            assert requirement in out
+
+    def test_style_filter(self, capsys):
+        assert main(["sweep", "--quick", "--quiet", "--styles", "active",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "passive" not in out.replace("active_passive", "")

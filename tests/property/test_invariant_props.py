@@ -1,0 +1,43 @@
+"""Property tests: the protocol invariants hold under random fault plans.
+
+Each example runs one :func:`repro.check.run_case` simulation — a random
+fault script (loss, bursts, network failures, severed paths, partitions)
+plus random traffic — with the checker in **strict** mode, for each of the
+three replication styles.  Any invariant violation aborts the run and
+fails the test; the final ledger validation must also balance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import CheckMode, run_case
+from repro.types import ReplicationStyle
+
+redundant_styles = st.sampled_from([ReplicationStyle.ACTIVE,
+                                    ReplicationStyle.PASSIVE,
+                                    ReplicationStyle.ACTIVE_PASSIVE])
+
+
+@given(style=redundant_styles,
+       seed=st.integers(min_value=0, max_value=10_000),
+       num_nodes=st.integers(min_value=2, max_value=5))
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_fault_plans_preserve_invariants(style, seed, num_nodes):
+    case = run_case(style, seed, num_nodes=num_nodes, duration=0.6,
+                    mode=CheckMode.STRICT, messages=60)
+    assert case.clean, (case.error
+                        or "\n".join(str(v) for v in case.violations))
+
+
+def test_one_long_case_per_style_stays_clean():
+    """A fixed, longer soak per style (deterministic anchor for CI)."""
+    for style in (ReplicationStyle.ACTIVE, ReplicationStyle.PASSIVE,
+                  ReplicationStyle.ACTIVE_PASSIVE):
+        case = run_case(style, seed=7, num_nodes=4, duration=1.5,
+                        mode=CheckMode.STRICT, messages=150)
+        assert case.clean, (case.error
+                            or "\n".join(str(v) for v in case.violations))
+        assert case.delivered > 0

@@ -234,10 +234,26 @@ class TestActiveReplication:
         _, engine, _, srp, _ = build(ReplicationStyle.ACTIVE)
         engine.recv_token(token(5), 0)
         engine.recv_token(token(5), 1)
+        # The SRP installs the new ring (during recovery preparation)
+        # before the new ring's regular tokens circulate, so the engine
+        # sees the ring change through srp.ring_id first.
+        srp.ring_id = RingId(8, 1)
         other = Token(ring_id=RingId(8, 1), seq=0)
         engine.recv_token(other, 0)
         engine.recv_token(other, 1)
         assert len(srp.tokens) == 2
+
+    def test_foreign_ring_token_dropped(self):
+        """A delayed token from a previous ring must not clobber the merge
+        state of the current ring's token (the S1 regression)."""
+        _, engine, _, srp, _ = build(ReplicationStyle.ACTIVE)
+        engine.recv_token(token(5), 0)
+        stray = Token(ring_id=RingId(0, 1), seq=9)
+        engine.recv_token(stray, 0)
+        assert engine.stats.foreign_ring_tokens == 1
+        assert srp.tokens == []  # merge state intact, still waiting
+        engine.recv_token(token(5), 1)
+        assert len(srp.tokens) == 1
 
     def test_join_and_commit_pass_through_on_all_networks(self):
         _, engine, stack, srp, _ = build(ReplicationStyle.ACTIVE)

@@ -1,0 +1,207 @@
+"""Regression tests for the token-lifecycle bug sweep (S1-S4).
+
+Each test pins one of the four bugs fixed together with the invariant
+checker and fails against the pre-fix engines:
+
+* S1 — a delayed token from a previous ring reset active replication's
+  merge state, letting the current ring's token be passed up twice;
+* S2 — a newer passive token silently overwrote the buffered token while
+  the old token's timer kept running, releasing the new token early and
+  losing the supersession in the accounting;
+* S3 — ``stop()`` left engine timers pending, so an abandoned
+  incarnation's token timer could push a token into a stopped SRP;
+* S4 — the timer-expiry delivery path used a bare ``-1`` network index,
+  which Python's negative indexing silently turns into "the last network"
+  in any per-network counter it reaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.monitor import ProblemCounterMonitor, RecvCountMonitor
+from repro.core.reports import NetworkFaultState
+from repro.types import ReplicationStyle, RingId, TIMEOUT_NETWORK
+from repro.wire.packets import Token
+
+from test_rrp_engines import build, token
+
+
+class TestS1ForeignRingToken:
+    """Active-style engines drop tokens for rings the SRP is not on."""
+
+    def test_active_prev_ring_straggler_cannot_cause_double_delivery(self):
+        _, engine, _, srp, _ = build(ReplicationStyle.ACTIVE)
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(5), 1)
+        assert len(srp.tokens) == 1
+        # A delayed copy from the previous ring arrives...
+        straggler = Token(ring_id=RingId(0, 1), seq=9)
+        engine.recv_token(straggler, 0)
+        assert engine.stats.foreign_ring_tokens == 1
+        # ...followed by retransmitted copies of the current token.  The
+        # pre-fix code had reset the merge state on the straggler and
+        # passed token 5 up a second time here.
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(5), 1)
+        assert [t.seq for t in srp.tokens] == [5]
+
+    def test_active_passive_prev_ring_straggler_dropped(self):
+        _, engine, _, srp, _ = build(ReplicationStyle.ACTIVE_PASSIVE)
+        srp.my_aru = 5
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(5), 1)
+        assert len(srp.tokens) == 1
+        straggler = Token(ring_id=RingId(0, 1), seq=9)
+        engine.recv_token(straggler, 2)
+        assert engine.stats.foreign_ring_tokens == 1
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(5), 2)
+        assert [t.seq for t in srp.tokens] == [5]
+
+
+class TestS2BufferedTokenSupersession:
+    """A newer passive token retires the buffered one explicitly."""
+
+    def test_new_token_gets_its_full_timeout(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)          # buffered at t=0
+        scheduler.run_until(0.006)
+        engine.recv_token(token(7), 1)          # supersedes, still gaps
+        assert engine.stats.tokens_superseded == 1
+        # Pre-fix the timer armed at t=0 kept running and released token 7
+        # at t=0.010, only 4 ms into its own timeout.
+        scheduler.run_until(0.011)
+        assert srp.tokens == []
+        scheduler.run_until(0.017)
+        assert [t.seq for t in srp.tokens] == [7]
+        assert engine.stats.tokens_buffer_released == 1
+
+    def test_superseded_token_never_reaches_srp(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        # The gap closes and a newer token arrives: delivered immediately,
+        # and the buffered token 5 must be retired — its timer must not
+        # later push the stale token into the SRP.
+        srp.my_aru = 7
+        engine.recv_token(token(7), 1)
+        assert [t.seq for t in srp.tokens] == [7]
+        assert engine.stats.tokens_superseded == 1
+        scheduler.run_until(0.050)
+        assert [t.seq for t in srp.tokens] == [7]
+
+    def test_retransmitted_copy_of_buffered_token_dropped_as_stale(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        scheduler.run_until(0.004)
+        engine.recv_token(token(5), 1)          # predecessor retransmission
+        assert engine.stats.stale_tokens_dropped == 1
+        assert engine.stats.tokens_buffered == 1  # not double-counted
+        # The retransmission must not have restarted the original timer.
+        scheduler.run_until(0.0101)
+        assert [t.seq for t in srp.tokens] == [5]
+
+    def test_accounting_balances_after_supersession(self):
+        scheduler, engine, _, _, _ = build(ReplicationStyle.PASSIVE,
+                                           passive_token_timeout=0.010)
+        srp = engine.srp
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(7), 1)
+        scheduler.run_until(0.050)
+        stats = engine.stats
+        assert stats.tokens_buffered == 2
+        assert stats.tokens_superseded == 1
+        assert stats.tokens_buffer_released == 1
+        assert stats.tokens_buffered == (stats.tokens_buffer_released
+                                         + stats.tokens_superseded)
+
+
+class TestS3StopCancelsTimers:
+    """stop() cancels every engine timer of the abandoned incarnation."""
+
+    def test_active_token_timer_cancelled_by_stop(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.ACTIVE,
+                                             active_token_timeout=0.002)
+        engine.recv_token(token(5), 0)          # merge pending, timer armed
+        engine.stop()
+        scheduler.run_until(0.050)
+        assert srp.tokens == []                 # pre-fix: delivered anyway
+        assert engine.stats.token_timer_expiries == 0
+
+    def test_passive_buffered_token_not_released_after_stop(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        engine.stop()
+        scheduler.run_until(0.050)
+        assert srp.tokens == []
+        assert engine.stats.token_timer_expiries == 0
+
+    def test_periodic_monitor_timers_cancelled_by_stop(self):
+        for style, interval_name in (
+                (ReplicationStyle.ACTIVE, "problem_counter_decay_interval"),
+                (ReplicationStyle.PASSIVE, "recv_count_topup_interval"),
+                (ReplicationStyle.ACTIVE_PASSIVE, "recv_count_topup_interval")):
+            scheduler, engine, _, _, _ = build(style,
+                                               **{interval_name: 0.01})
+            engine.start()
+            engine.stop()
+            fired = []
+            engine.probe = type("Probe", (), {
+                "engine_timer_fired":
+                    staticmethod(lambda name, stopped: fired.append(name)),
+            })()
+            scheduler.run_until(0.1)
+            assert fired == [], f"{style.value}: timers fired after stop()"
+
+    def test_active_passive_gap_timer_cancelled_by_stop(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.ACTIVE_PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        engine.recv_token(token(5), 1)          # assembled, gap-buffered
+        assert srp.tokens == []
+        engine.stop()
+        scheduler.run_until(0.050)
+        assert srp.tokens == []
+
+
+class TestS4TimeoutNetworkSentinel:
+    """TIMEOUT_NETWORK can never silently index the last network."""
+
+    def test_sentinel_is_not_a_valid_index(self):
+        assert TIMEOUT_NETWORK < 0
+
+    def test_recv_count_monitor_rejects_sentinel(self):
+        faults = NetworkFaultState(node=1, num_networks=2)
+        monitor = RecvCountMonitor(faults, threshold=10)
+        # Pre-fix this incremented recv_count[-1] — the *last* network —
+        # silently skewing the P4 lag comparison.
+        with pytest.raises(ValueError):
+            monitor.record(TIMEOUT_NETWORK)
+        assert monitor.recv_count == [0, 0]
+
+    def test_problem_counter_monitor_rejects_sentinel(self):
+        faults = NetworkFaultState(node=1, num_networks=2)
+        monitor = ProblemCounterMonitor(faults, threshold=10)
+        with pytest.raises(ValueError):
+            monitor.token_copy_missing(TIMEOUT_NETWORK)
+        assert monitor.counters == [0, 0]
+
+    def test_passive_timeout_release_does_not_touch_monitors(self):
+        scheduler, engine, _, srp, _ = build(ReplicationStyle.PASSIVE,
+                                             passive_token_timeout=0.010)
+        srp.my_aru = 3
+        engine.recv_token(token(5), 0)
+        counts_before = list(engine.token_monitor.recv_count)
+        scheduler.run_until(0.050)
+        assert [t.seq for t in srp.tokens] == [5]
+        assert engine.token_monitor.recv_count == counts_before
