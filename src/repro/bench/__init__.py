@@ -14,6 +14,7 @@ experiment index in DESIGN.md):
 Run ``totem-bench --help`` or ``python -m repro.bench``.
 """
 
+from .gate import REGRESSION_THRESHOLD, compare, load_result, run_gate
 from .runner import ThroughputResult, run_throughput
 from .workload import SaturatingWorkload
 from .figures import (
@@ -31,6 +32,10 @@ from .figures import (
 )
 
 __all__ = [
+    "REGRESSION_THRESHOLD",
+    "compare",
+    "load_result",
+    "run_gate",
     "ThroughputResult",
     "run_throughput",
     "SaturatingWorkload",

@@ -7,6 +7,7 @@ Examples::
     totem-bench claims             # the §8 in-text numeric claims
     totem-bench failover           # extension X3: transparency timeline
     python -m repro.bench fig8
+    python -m repro.bench gate     # perf-regression gate (BENCH_*.json)
 """
 
 from __future__ import annotations
@@ -19,7 +20,8 @@ from typing import List, Optional
 from ..types import ReplicationStyle
 from . import figures
 
-TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover", "all")
+TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover",
+           "gate", "all")
 
 
 def _maybe_svg(figure, svg_dir: Optional[str]) -> None:
@@ -96,6 +98,32 @@ def _run_target(target: str, quick: bool, svg_dir: Optional[str] = None) -> None
           file=sys.stderr)
 
 
+def _run_gate(args: argparse.Namespace) -> int:
+    from ..errors import GateError
+    from .gate import run_gate
+    try:
+        result = run_gate(output=args.output, baseline=args.baseline,
+                          enforce=not args.no_gate, quick=args.quick)
+    except GateError as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    for name, metrics in result["workloads"].items():
+        print(f"{name}: {metrics['events_per_sec']:,.0f} events/s  "
+              f"{metrics['ops_per_sec']:,.0f} ops/s  "
+              f"{metrics['virtual_mbps']:.1f} Mbit/s")
+    latency = result["latency"]
+    print(f"latency (virtual): p50 {latency['virtual_p50_ms']:.3f} ms  "
+          f"p99 {latency['virtual_p99_ms']:.3f} ms")
+    if result.get("baseline"):
+        print(f"[baseline: {result['baseline']}]", file=sys.stderr)
+    if result["regressions"]:
+        print("regressions (not enforced, --no-gate):", file=sys.stderr)
+        for line in result["regressions"]:
+            print(f"  {line}", file=sys.stderr)
+    print(f"[wrote {args.output}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totem-bench",
@@ -106,7 +134,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="reduced sweep (fewer sizes, shorter runs)")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also write figures as SVG files into DIR")
+    gate_group = parser.add_argument_group("gate options")
+    gate_group.add_argument("--output", metavar="FILE",
+                            default="BENCH_pr2.json",
+                            help="gate: where to write the result JSON")
+    gate_group.add_argument("--baseline", metavar="FILE", default=None,
+                            help="gate: explicit baseline BENCH_*.json "
+                                 "(default: newest sibling)")
+    gate_group.add_argument("--no-gate", action="store_true",
+                            help="gate: measure and report but never fail "
+                                 "on regression")
     args = parser.parse_args(argv)
+    if args.target == "gate":
+        return _run_gate(args)
     _run_target(args.target, quick=args.quick, svg_dir=args.svg)
     return 0
 

@@ -97,6 +97,10 @@ class SweepCase:
     violations: List[InvariantViolation] = field(default_factory=list)
     #: Strict-mode abort message, if the run was cut short by a violation.
     error: Optional[str] = None
+    #: Rendered trace-recorder output (only when captured): one line per
+    #: protocol event, in emission order.  Two same-seed runs must produce
+    #: byte-identical text — the determinism regression tests diff this.
+    trace_text: Optional[str] = None
 
     @property
     def clean(self) -> bool:
@@ -114,7 +118,8 @@ class SweepCase:
 def run_case(style: ReplicationStyle, seed: int, *,
              num_nodes: int = 4, duration: float = 1.0,
              mode: CheckMode = CheckMode.OBSERVE,
-             messages: int = 120) -> SweepCase:
+             messages: int = 120,
+             capture_trace: bool = False) -> SweepCase:
     """Run one randomized case; pure function of its arguments."""
     rng = random.Random(f"{seed}:{style.value}")
     num_networks = _STYLE_NETWORKS[style]
@@ -139,12 +144,16 @@ def run_case(style: ReplicationStyle, seed: int, *,
         cluster.checker.check_all()
     except InvariantViolationError as exc:
         error = str(exc)
+    trace_text = None
+    if capture_trace:
+        trace_text = "\n".join(str(event) for event in cluster.tracer.events())
     return SweepCase(
         style=style, seed=seed, num_nodes=num_nodes, duration=duration,
         fault_events=len(plan.events),
         delivered=cluster.total_delivered(),
         violations=list(cluster.checker.violations),
-        error=error)
+        error=error,
+        trace_text=trace_text)
 
 
 @dataclass
@@ -188,13 +197,15 @@ def run_sweep(styles: Sequence[ReplicationStyle] = SWEEP_STYLES,
               num_nodes: int = 4, duration: float = 1.0,
               mode: CheckMode = CheckMode.OBSERVE,
               messages: int = 120,
+              capture_trace: bool = False,
               progress=None) -> SweepReport:
     """Run ``runs_per_style`` randomized cases for each style."""
     report = SweepReport()
     for style in styles:
         for run in range(runs_per_style):
             case = run_case(style, base_seed + run, num_nodes=num_nodes,
-                            duration=duration, mode=mode, messages=messages)
+                            duration=duration, mode=mode, messages=messages,
+                            capture_trace=capture_trace)
             report.cases.append(case)
             if progress is not None:
                 progress(case)

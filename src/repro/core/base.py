@@ -23,6 +23,7 @@ from ..config import TotemConfig
 from ..sim.runtime import Runtime
 from ..types import FaultReportFn, NodeId
 from ..wire.packets import (
+    FLAG_LAST,
     CommitToken,
     DataPacket,
     JoinMessage,
@@ -70,6 +71,7 @@ class ReplicationEngine:
             on_fault_report=on_fault_report, now_fn=runtime.now)
         self.stats = RrpStats()
         self._srp = None
+        self._recv_lan_config = getattr(stack, "_lan_config", None)
         self._stopped = False
         #: Optional :class:`repro.check.NodeProbe` observing protocol events.
         self.probe = None
@@ -80,6 +82,8 @@ class ReplicationEngine:
     def bind(self, srp) -> None:
         """Attach the SRP engine that sits above this layer."""
         self._srp = srp
+        #: Resolved once: the cost classifier runs for every received frame.
+        self._recv_lan_config = getattr(self.stack, "_lan_config", None)
         self.stack.set_recv_cost_fn(self._recv_cost)
 
     def start(self) -> None:
@@ -112,7 +116,7 @@ class ReplicationEngine:
 
     def _recv_cost(self, packet: object) -> float:
         """CPU cost classifier for the network stack (duplicates are cheap)."""
-        lan = getattr(self.stack, "_lan_config", None)
+        lan = self._recv_lan_config
         if lan is None:  # pragma: no cover - stack always has a LanConfig
             return 0.0
         size = packet.wire_size()  # type: ignore[attr-defined]
@@ -121,7 +125,10 @@ class ReplicationEngine:
                 # Dropped after the sequence-number check: the copy chain
                 # still ran, but no ordering/delivery work happens.
                 return lan.cpu_per_dup_recv + lan.cpu_per_byte_dup * size
-            completed = sum(1 for chunk in packet.chunks if chunk.is_last)
+            completed = 0
+            for chunk in packet.chunks:
+                if chunk.flags & FLAG_LAST:
+                    completed += 1
             return (lan.cpu_per_recv + lan.cpu_per_byte_recv * size
                     + lan.cpu_per_msg * completed)
         return lan.cpu_per_recv + lan.cpu_per_byte_recv * size
@@ -129,21 +136,35 @@ class ReplicationEngine:
     # ----- upward dispatch (NetworkStack handler) -----
 
     def on_packet(self, packet: object, network: int) -> None:
-        ptype = packet_type_of(packet)
-        if ptype is PacketType.DATA:
-            assert isinstance(packet, DataPacket)
+        # Dispatch on the concrete class: the ``packet_type`` discriminator
+        # is a property returning an enum member, which costs a call per
+        # frame on the hottest upward path.
+        cls = type(packet)
+        if cls is DataPacket:
             self.recv_data(packet, network)
-        elif ptype is PacketType.TOKEN:
-            assert isinstance(packet, Token)
+        elif cls is Token:
             if self.probe is not None:
                 self.probe.engine_recv_token(packet, network)
             self.recv_token(packet, network)
-        elif ptype is PacketType.JOIN:
-            assert isinstance(packet, JoinMessage)
+        elif cls is JoinMessage:
             self.srp.on_join(packet, network)
-        else:
-            assert isinstance(packet, CommitToken)
+        elif cls is CommitToken:
             self.srp.on_commit_token(packet, network)
+        else:
+            # Fallback for packet subclasses: dispatch on the discriminator
+            # (raises TypeError for non-packets), as the fast path above
+            # only recognises the concrete wire classes.
+            ptype = packet_type_of(packet)
+            if ptype is PacketType.DATA:
+                self.recv_data(packet, network)  # type: ignore[arg-type]
+            elif ptype is PacketType.TOKEN:
+                if self.probe is not None:
+                    self.probe.engine_recv_token(packet, network)
+                self.recv_token(packet, network)  # type: ignore[arg-type]
+            elif ptype is PacketType.JOIN:
+                self.srp.on_join(packet, network)
+            else:
+                self.srp.on_commit_token(packet, network)
 
     # ----- style-specific hooks -----
 

@@ -41,3 +41,7 @@ class TransportError(TotemError):
 
 class InvariantViolationError(TotemError):
     """A protocol invariant was violated (strict-mode :mod:`repro.check`)."""
+
+
+class GateError(TotemError):
+    """The benchmark-regression gate could not run or detected a regression."""

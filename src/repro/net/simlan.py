@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import LanConfig
 from ..errors import TransportError
@@ -104,50 +104,80 @@ class SimLan:
         longer matches the node's current attachment is a dead incarnation's
         port and transmits nothing.
         """
-        self.stats.frames_offered += 1
+        stats = self.stats
+        faults = self.faults
+        config = self.config
+        stats.frames_offered += 1
         if (generation is not None
                 and self._generations.get(src) != generation):
-            self.stats.frames_blocked += 1
+            stats.frames_blocked += 1
             return
-        if not self.faults.can_send(src):
-            self.stats.frames_blocked += 1
+        if not faults.can_send(src):
+            stats.frames_blocked += 1
             return
         payload = packet.wire_size()  # type: ignore[attr-defined]
-        wire_time = self.config.wire_time(payload)
-        now = self._scheduler.now()
-        start = max(now, self._medium_free_at)
+        wire_time = config.wire_time(payload)
+        now = self._scheduler.clock._now
+        start = self._medium_free_at
+        if now > start:
+            start = now
         done = start + wire_time
         self._medium_free_at = done
-        self.stats.frames_sent += 1
-        self.stats.payload_bytes += payload
-        self.stats.wire_bytes += max(self.config.min_frame,
-                                     payload + self.config.frame_overhead)
-        self.stats.busy_time += wire_time
-        arrival = done + self.config.latency
+        stats.frames_sent += 1
+        stats.payload_bytes += payload
+        wire = payload + config.frame_overhead
+        min_frame = config.min_frame
+        stats.wire_bytes += wire if wire > min_frame else min_frame
+        stats.busy_time += wire_time
+        arrival = done + config.latency
 
         # Burst loss happens at the medium/switch: one draw per frame, all
         # receivers of a broadcast share the outcome.
-        if (self.faults.burst_loss is not None
-                and self.faults.burst_loss.frame_lost(self._rng)):
-            self.stats.frames_lost += 1
+        if (faults.burst_loss is not None
+                and faults.burst_loss.frame_lost(self._rng)):
+            stats.frames_lost += 1
             return
 
+        receivers = self._receivers
         if dest is not None:
-            targets = [dest] if dest in self._receivers else []
+            targets = (dest,) if dest in receivers else ()
         else:
-            targets = [node for node in self._receivers if node != src]
+            targets = [node for node in receivers if node != src]
+        # Per-receiver eligibility (fault state and loss draws) is decided
+        # now, in attachment order, so the RNG stream is independent of how
+        # delivery is later scheduled.  All surviving receivers then share a
+        # single fanout event instead of one heap entry each — the deliver
+        # callbacks are captured here, so a frame already in flight still
+        # reaches a node that detaches before it arrives (same semantics as
+        # the old per-receiver scheduling).
+        fanout: List[Tuple[DeliverFn, NodeId]] = []
+        loss = config.loss_rate + faults.extra_loss_rate
+        rng_random = self._rng.random
+        can_deliver = faults.can_deliver
+        observer = self.observer
+        # One emptiness check per frame skips the per-target fault probe in
+        # the (overwhelmingly common) fault-free case.
+        faulty = (faults.down or faults.recv_blocked or faults.blocked_pairs
+                  or faults.partition is not None)
         for node in targets:
-            if not self.faults.can_deliver(src, node):
-                self.stats.frames_blocked += 1
+            if faulty and not can_deliver(src, node):
+                stats.frames_blocked += 1
                 continue
-            loss = self.config.loss_rate + self.faults.extra_loss_rate
-            if loss > 0.0 and self._rng.random() < loss:
-                self.stats.frames_lost += 1
+            if loss > 0.0 and rng_random() < loss:
+                stats.frames_lost += 1
                 continue
-            self.stats.deliveries += 1
-            self._scheduler.call_at(arrival, self._receivers[node], src, packet)
-            if self.observer is not None:
-                self.observer(self.index, src, node, packet, arrival)
+            stats.deliveries += 1
+            fanout.append((receivers[node], node))
+            if observer is not None:
+                observer(self.index, src, node, packet, arrival)
+        if fanout:
+            self._scheduler.schedule(arrival, self._fanout, src, packet, fanout)
+
+    def _fanout(self, src: NodeId, packet: object,
+                targets: List[Tuple[DeliverFn, NodeId]]) -> None:
+        """Deliver one frame to every receiver that survived the loss draws."""
+        for deliver, _node in targets:
+            deliver(src, packet)
 
 
 class LanPort:

@@ -70,23 +70,30 @@ class NodeCpu:
         returning seconds, evaluated when the job reaches the head of the
         queue.
         """
-        self._queue.append((cost, fn, args))
-        if not self._running:
-            self._start_next()
-
-    def _start_next(self) -> None:
-        if not self._queue:
-            self._running = False
+        if self._running:
+            self._queue.append((cost, fn, args))
             return
         self._running = True
-        cost, fn, args = self._queue.popleft()
+        self._begin(cost, fn, args)
+
+    def _start_next(self) -> None:
+        queue = self._queue
+        if not queue:
+            self._running = False
+            return
+        cost, fn, args = queue.popleft()
+        self._begin(cost, fn, args)
+
+    def _begin(self, cost, fn: Callable[..., None], args: tuple) -> None:
         if callable(cost):
             cost = cost()
         if cost < 0:
             raise TransportError(f"negative CPU cost {cost}")
-        self.stats.busy_time += cost
-        self.stats.operations += 1
-        self._scheduler.call_after(cost, self._finish, fn, args)
+        stats = self.stats
+        stats.busy_time += cost
+        stats.operations += 1
+        scheduler = self._scheduler
+        scheduler.schedule(scheduler.clock._now + cost, self._finish, fn, args)
 
     def _finish(self, fn: Callable[..., None], args: tuple) -> None:
         try:

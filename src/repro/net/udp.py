@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CodecError, TransportError
 from ..types import NodeId
-from ..wire.codec import decode_packet, encode_packet
+from ..wire.codec import PackedPacketCache, decode_packet
 from .interfaces import PacketHandler
 
 Address = Tuple[str, int]
@@ -69,6 +69,9 @@ class UdpStack:
         self._handler: Optional[PacketHandler] = None
         self.errors: List[Exception] = []
         self.decode_failures = 0
+        #: Active replication re-sends the same packet object on every
+        #: network; cache the encoded bytes so N sends serialise once.
+        self._encode_cache = PackedPacketCache()
 
     @property
     def num_networks(self) -> int:
@@ -104,13 +107,14 @@ class UdpStack:
         self._transports[network].sendto(data, addr)
 
     def broadcast(self, network: int, packet: object) -> None:
-        data = encode_packet(packet)  # type: ignore[arg-type]
+        data = self._encode_cache.encode(packet)  # type: ignore[arg-type]
         for dest in self.addresses:
             if dest != self.node:
                 self._send(network, dest, data)
 
     def unicast(self, network: int, dest: NodeId, packet: object) -> None:
-        self._send(network, dest, encode_packet(packet))  # type: ignore[arg-type]
+        data = self._encode_cache.encode(packet)  # type: ignore[arg-type]
+        self._send(network, dest, data)
 
     # ----- upward (wire -> engine) -----
 

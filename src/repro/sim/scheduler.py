@@ -2,16 +2,40 @@
 
 Events are callbacks scheduled at absolute virtual times.  Ties are broken
 by insertion order, which makes every simulation fully deterministic.
+
+Performance notes (this module is the simulator's innermost loop):
+
+* Heap entries are plain lists ``[when, counter, callback, args]``; the
+  unique counter guarantees heap comparisons never reach the callback.  The
+  fire-and-forget paths (CPU job completions, LAN frame arrivals) use
+  :meth:`EventScheduler.schedule`, which allocates nothing but the entry —
+  a :class:`Timer` handle is only built for callers that may cancel.
+* ``run_until`` drains ready events in one tight loop instead of paying a
+  ``step()`` + ``_drop_cancelled()`` call pair per event, and only touches
+  the clock when the timestamp actually changes.
+* Cancelled timers are tombstoned in place (O(1) cancel: the entry's
+  callback slot is nulled) and normally discarded when they surface at the
+  heap top.  A cancel-heavy workload — e.g. a long fault sweep re-arming
+  token-loss timers every rotation — can accumulate far-future tombstones
+  faster than they surface, degrading every push/pop to O(log dead).  When
+  tombstones outnumber live entries (and exceed ``compact_min_dead``) the
+  heap is compacted in place.  Compaction preserves the (time,
+  insertion-order) total order exactly, so the tie-break contract is
+  unaffected.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
 from .clock import VirtualClock
+
+#: Heap-entry slots: ``[when, counter, callback, args]``.  ``callback`` is
+#: ``None`` once the entry has fired or been cancelled (a tombstone).
+_WHEN, _COUNTER, _CALLBACK, _ARGS = range(4)
 
 
 class Timer:
@@ -21,20 +45,25 @@ class Timer:
     surfaces.  A timer that has fired or been cancelled is inert.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+    __slots__ = ("when", "_entry", "_cancelled", "_scheduler")
 
-    def __init__(self, when: float, callback: Callable[..., None], args: tuple) -> None:
+    def __init__(self, when: float, entry: list,
+                 scheduler: "EventScheduler") -> None:
         self.when = when
-        self._callback: Optional[Callable[..., None]] = callback
-        self._args = args
+        self._entry = entry
         self._cancelled = False
-        self._fired = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the timer from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
-        self._callback = None
-        self._args = ()
+        entry = self._entry
+        if entry[_CALLBACK] is not None:  # still pending (not yet fired)
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
+            self._scheduler._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -43,16 +72,7 @@ class Timer:
     @property
     def active(self) -> bool:
         """True if the timer is still pending (not fired, not cancelled)."""
-        return not self._cancelled and not self._fired
-
-    def _fire(self) -> None:
-        if self._cancelled or self._fired:
-            return
-        self._fired = True
-        callback, args = self._callback, self._args
-        self._callback, self._args = None, ()
-        assert callback is not None
-        callback(*args)
+        return self._entry[_CALLBACK] is not None
 
 
 class EventScheduler:
@@ -68,27 +88,77 @@ class EventScheduler:
         self._heap: list = []
         self._counter = itertools.count()
         self._events_processed = 0
+        #: Tombstoned (cancelled, still-queued) entries currently in the heap.
+        self._dead = 0
+        #: Compaction trigger: tombstones must exceed this count AND
+        #: outnumber the live entries.  Tests lower it to exercise the path.
+        self.compact_min_dead = 256
+        #: Number of tombstone compactions performed (observability).
+        self.compactions = 0
 
     # ----- scheduling -----
 
     def now(self) -> float:
         return self.clock.now()
 
+    def schedule(self, when: float, callback: Callable[..., None],
+                 *args: Any) -> None:
+        """Schedule a fire-and-forget event (no handle, not cancellable).
+
+        The fast path for the simulator's two highest-rate event sources
+        (CPU job completions and frame arrivals), which never cancel.
+        """
+        if when < self.clock._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self.clock._now}"
+            )
+        heappush(self._heap, [when, next(self._counter), callback, args])
+
     def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
-        if when < self.clock.now():
+        if when < self.clock._now:
             raise SimulationError(
-                f"cannot schedule event in the past: {when} < {self.clock.now()}"
+                f"cannot schedule event in the past: {when} < {self.clock._now}"
             )
-        timer = Timer(when, callback, args)
-        heapq.heappush(self._heap, (when, next(self._counter), timer))
-        return timer
+        entry = [when, next(self._counter), callback, args]
+        heappush(self._heap, entry)
+        return Timer(when, entry, self)
 
     def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        return self.call_at(self.clock.now() + delay, callback, *args)
+        when = self.clock._now + delay
+        entry = [when, next(self._counter), callback, args]
+        heappush(self._heap, entry)
+        return Timer(when, entry, self)
+
+    # ----- tombstone accounting -----
+
+    @property
+    def dead_entries(self) -> int:
+        """Tombstoned heap entries awaiting discard or compaction."""
+        return self._dead
+
+    def _note_cancelled(self) -> None:
+        """A pending timer was cancelled; compact if tombstones dominate."""
+        self._dead += 1
+        if (self._dead > self.compact_min_dead
+                and self._dead > len(self._heap) - self._dead):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone from the heap, in place.
+
+        In place (``heap[:] =``) so aliases held by a running ``run_until``
+        loop stay valid.  Entries keep their (when, counter) keys, so
+        re-heapifying cannot change the order in which live timers fire.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[_CALLBACK] is not None]
+        heapify(heap)
+        self._dead = 0
+        self.compactions += 1
 
     # ----- execution -----
 
@@ -106,20 +176,24 @@ class EventScheduler:
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0][0]
+        return self._heap[0][_WHEN]
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heappop(heap)
+            self._dead -= 1
 
     def step(self) -> bool:
         """Fire the next live event.  Returns False if none remain."""
         self._drop_cancelled()
         if not self._heap:
             return False
-        when, _, timer = heapq.heappop(self._heap)
-        self.clock.advance_to(when)
-        timer._fire()
+        entry = heappop(self._heap)
+        callback = entry[_CALLBACK]
+        entry[_CALLBACK] = None
+        self.clock.advance_to(entry[_WHEN])
+        callback(*entry[_ARGS])
         self._events_processed += 1
         return True
 
@@ -128,12 +202,33 @@ class EventScheduler:
 
         Events scheduled exactly at ``t`` do fire.
         """
-        while True:
-            self._drop_cancelled()
-            if not self._heap or self._heap[0][0] > t:
-                break
-            self.step()
-        self.clock.advance_to(max(t, self.clock.now()))
+        # Hot loop: one heappop per entry, no per-event helper calls.  The
+        # heap list is aliased, never rebound (push/pop/_compact all mutate
+        # in place), so callbacks scheduling further events remain visible.
+        heap = self._heap
+        clock = self.clock
+        events = 0
+        try:
+            while heap:
+                when = heap[0][_WHEN]
+                if when > t:
+                    break
+                entry = heappop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    self._dead -= 1
+                    continue
+                # Null the slot before the callback runs: a handle queried
+                # (or cancelled) from inside its own callback sees a fired
+                # timer.
+                entry[_CALLBACK] = None
+                if when != clock._now:
+                    clock.advance_to(when)
+                callback(*entry[_ARGS])
+                events += 1
+        finally:
+            self._events_processed += events
+        clock.advance_to(max(t, clock._now))
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or ``max_events`` fire).

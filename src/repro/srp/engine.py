@@ -489,9 +489,14 @@ class TotemSrp:
     # ------------------------------------------------------------------
 
     def _buffer_for_ring(self, ring_id: RingId) -> Optional[ReceiveBuffer]:
-        if ring_id == self.ring_id:
+        # Identity first: in the simulator every node on a ring shares the
+        # RingId object installed by the commit token, so the dataclass
+        # field comparison is only paid on ring boundaries.
+        my_ring = self.ring_id
+        if ring_id is my_ring or ring_id == my_ring:
             return self.recv_buffer
-        if self._old_ring is not None and ring_id == self._old_ring:
+        old_ring = self._old_ring
+        if old_ring is not None and (ring_id is old_ring or ring_id == old_ring):
             return self._old_buffer
         return None
 
@@ -591,18 +596,25 @@ class TotemSrp:
     def _deliver_packet_chunks(self, packet: DataPacket,
                                reassembler: Reassembler, safe: bool,
                                config_id: Optional[RingId] = None) -> None:
+        sender = packet.sender
+        seq = packet.seq
+        ring_id = packet.ring_id
+        delivered_in = config_id or ring_id
+        app_kind = ChunkKind.APP
+        feed = reassembler.feed
+        stats = self.stats
+        on_deliver = self.on_deliver
         for chunk in packet.chunks:
-            if chunk.kind is not ChunkKind.APP:
+            if chunk.kind is not app_kind:
                 continue  # recovery chunks were absorbed on receipt
-            payload = reassembler.feed(packet.sender, chunk)
+            payload = feed(sender, chunk)
             if payload is None:
                 continue
-            self.stats.msgs_delivered += 1
-            self.stats.bytes_delivered += len(payload)
-            self.on_deliver(DeliveredMessage(
-                sender=packet.sender, seq=packet.seq, payload=payload,
-                ring_id=packet.ring_id, safe=safe,
-                delivered_in=config_id or packet.ring_id))
+            stats.msgs_delivered += 1
+            stats.bytes_delivered += len(payload)
+            on_deliver(DeliveredMessage(
+                sender=sender, seq=seq, payload=payload,
+                ring_id=ring_id, safe=safe, delivered_in=delivered_in))
 
     # ------------------------------------------------------------------
     # timers

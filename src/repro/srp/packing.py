@@ -17,7 +17,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..types import NodeId
-from ..wire.packets import CHUNK_HEADER_BYTES, Chunk, ChunkFlags, ChunkKind
+from ..wire.packets import (
+    CHUNK_HEADER_BYTES,
+    FLAG_FIRST,
+    FLAG_LAST,
+    FLAG_WHOLE,
+    Chunk,
+    ChunkKind,
+)
 from .send_queue import SendQueue
 
 
@@ -61,9 +68,9 @@ class Packer:
         if self._partial is not None:
             msg_id, remaining, first_sent = self._partial
             room = budget - CHUNK_HEADER_BYTES
-            flags = 0 if first_sent else int(ChunkFlags.FIRST)
+            flags = 0 if first_sent else FLAG_FIRST
             if len(remaining) <= room:
-                flags |= int(ChunkFlags.LAST)
+                flags |= FLAG_LAST
                 chunks.append(Chunk(ChunkKind.APP, msg_id, flags, remaining))
                 self._partial = None
                 budget -= CHUNK_HEADER_BYTES + len(remaining)
@@ -72,14 +79,16 @@ class Packer:
                 self._partial = (msg_id, remaining[room:], True)
                 return chunks  # packet is full
 
+        queue = self._queue
         while True:
-            payload = self._queue.peek()
+            payload = queue.peek()
             if payload is None:
                 break
             need = CHUNK_HEADER_BYTES + len(payload)
             if need <= budget:
-                self._queue.dequeue()
-                chunks.append(Chunk.whole(self._allocate_msg_id(), payload))
+                queue.dequeue()
+                chunks.append(Chunk(ChunkKind.APP, self._allocate_msg_id(),
+                                    FLAG_WHOLE, payload))
                 budget -= need
                 if not self._enable_packing:
                     break
@@ -87,11 +96,11 @@ class Packer:
             if chunks:
                 break  # does not fit the remainder; start the next packet
             # Message alone exceeds a whole packet: begin fragmenting it.
-            self._queue.dequeue()
+            queue.dequeue()
             msg_id = self._allocate_msg_id()
             room = self._max_payload - CHUNK_HEADER_BYTES
             chunks.append(Chunk(ChunkKind.APP, msg_id,
-                                int(ChunkFlags.FIRST), payload[:room]))
+                                FLAG_FIRST, payload[:room]))
             self._partial = (msg_id, payload[room:], True)
             break
         return chunks
@@ -113,10 +122,11 @@ class Reassembler:
         self._partial: Dict[Tuple[NodeId, int], List[bytes]] = {}
 
     def feed(self, sender: NodeId, chunk: Chunk) -> Optional[bytes]:
-        if chunk.is_first and chunk.is_last:
-            return chunk.data
+        flags = chunk.flags
+        if flags & FLAG_WHOLE == FLAG_WHOLE:
+            return chunk.data  # unfragmented: the common, hot case
         key = (sender, chunk.msg_id)
-        if chunk.is_first:
+        if flags & FLAG_FIRST:
             self._partial[key] = [chunk.data]
             return None
         fragments = self._partial.get(key)
@@ -124,7 +134,7 @@ class Reassembler:
             # FIRST fragment was lost to a membership change; drop the tail.
             return None
         fragments.append(chunk.data)
-        if chunk.is_last:
+        if flags & FLAG_LAST:
             del self._partial[key]
             return b"".join(fragments)
         return None

@@ -41,6 +41,25 @@ _COMMIT_FIXED = struct.Struct(">IHH")      # rotation, member_count, info_count
 _INFO_FIXED = struct.Struct(">IIIQQ")      # node, old_ring seq, old_ring rep, aru, high
 _CRC = struct.Struct(">I")
 
+#: Precompiled ``>NI`` / ``>NQ`` run formats, keyed by (letter, count).
+#: Packing a token's whole rtr list (or a join's node sets) in one struct
+#: call beats one ``struct.pack`` — and one format-string parse — per entry.
+_RUN_STRUCTS: dict = {}
+
+
+def _run_struct(letter: str, count: int) -> struct.Struct:
+    key = (letter, count)
+    cached = _RUN_STRUCTS.get(key)
+    if cached is None:
+        cached = _RUN_STRUCTS[key] = struct.Struct(f">{count}{letter}")
+    return cached
+
+
+#: Reusable encode buffer.  Encoding is never re-entrant (packets do not
+#: nest) and the package is single-threaded per event loop, so one shared
+#: bytearray amortises the allocation across every encode.
+_ENCODE_BUF = bytearray()
+
 Packet = Union[DataPacket, Token, JoinMessage, CommitToken]
 
 
@@ -56,48 +75,92 @@ def _decode_ring(data: bytes, offset: int) -> Tuple[RingId, int]:
 def encode_packet(packet: Packet) -> bytes:
     """Serialise a packet object to bytes (with trailing CRC32)."""
     ptype = packet.packet_type
-    parts = [_HEADER.pack(MAGIC, VERSION, int(ptype))]
+    buf = _ENCODE_BUF
+    del buf[:]
+    buf += _HEADER.pack(MAGIC, VERSION, int(ptype))
     if ptype is PacketType.DATA:
         assert isinstance(packet, DataPacket)
-        parts.append(_encode_ring(packet.ring_id))
-        parts.append(_DATA_FIXED.pack(packet.sender, packet.seq, len(packet.chunks)))
+        buf += _encode_ring(packet.ring_id)
+        buf += _DATA_FIXED.pack(packet.sender, packet.seq, len(packet.chunks))
+        chunk_pack = _CHUNK_FIXED.pack
         for chunk in packet.chunks:
-            parts.append(_CHUNK_FIXED.pack(
-                int(chunk.kind), chunk.flags, chunk.msg_id, len(chunk.data)))
-            parts.append(chunk.data)
+            buf += chunk_pack(int(chunk.kind), chunk.flags, chunk.msg_id,
+                              len(chunk.data))
+            buf += chunk.data
     elif ptype is PacketType.TOKEN:
         assert isinstance(packet, Token)
-        parts.append(_encode_ring(packet.ring_id))
-        parts.append(_TOKEN_FIXED.pack(
+        buf += _encode_ring(packet.ring_id)
+        buf += _TOKEN_FIXED.pack(
             packet.seq, packet.aru, packet.aru_id, packet.fcc,
-            packet.backlog, packet.rotation, packet.done_count, len(packet.rtr)))
-        for seq in packet.rtr:
-            parts.append(struct.pack(">Q", seq))
+            packet.backlog, packet.rotation, packet.done_count, len(packet.rtr))
+        if packet.rtr:
+            buf += _run_struct("Q", len(packet.rtr)).pack(*packet.rtr)
     elif ptype is PacketType.JOIN:
         assert isinstance(packet, JoinMessage)
-        parts.append(_JOIN_FIXED.pack(
+        buf += _JOIN_FIXED.pack(
             packet.sender, packet.ring_seq,
-            len(packet.proc_set), len(packet.fail_set)))
-        for node in sorted(packet.proc_set):
-            parts.append(struct.pack(">I", node))
-        for node in sorted(packet.fail_set):
-            parts.append(struct.pack(">I", node))
+            len(packet.proc_set), len(packet.fail_set))
+        if packet.proc_set:
+            buf += _run_struct("I", len(packet.proc_set)).pack(
+                *sorted(packet.proc_set))
+        if packet.fail_set:
+            buf += _run_struct("I", len(packet.fail_set)).pack(
+                *sorted(packet.fail_set))
     elif ptype is PacketType.COMMIT_TOKEN:
         assert isinstance(packet, CommitToken)
-        parts.append(_encode_ring(packet.ring_id))
-        parts.append(_COMMIT_FIXED.pack(
-            packet.rotation, len(packet.members), len(packet.info)))
-        for node in packet.members:
-            parts.append(struct.pack(">I", node))
+        buf += _encode_ring(packet.ring_id)
+        buf += _COMMIT_FIXED.pack(
+            packet.rotation, len(packet.members), len(packet.info))
+        if packet.members:
+            buf += _run_struct("I", len(packet.members)).pack(*packet.members)
         for node in sorted(packet.info):
             info = packet.info[node]
-            parts.append(_INFO_FIXED.pack(
+            buf += _INFO_FIXED.pack(
                 node, info.old_ring_id.seq, info.old_ring_id.representative,
-                info.my_aru, info.high_seq))
+                info.my_aru, info.high_seq)
     else:  # pragma: no cover - enum is exhaustive
         raise CodecError(f"unknown packet type {ptype!r}")
-    body = b"".join(parts)
-    return body + _CRC.pack(zlib.crc32(body))
+    buf += _CRC.pack(zlib.crc32(buf))
+    return bytes(buf)
+
+
+class PackedPacketCache:
+    """Small cache of encoded packet bytes for N-network resends.
+
+    Active replication sends the *same* packet object over every operational
+    network; over the UDP transport that re-serialised identical bytes N
+    times.  Entries are keyed by ``(id(packet), ring id)`` and pin the packet
+    object itself, so an id can never be recycled while its entry is alive;
+    a hit additionally verifies identity (``is``).  Only immutable packet
+    types (:class:`DataPacket`, :class:`JoinMessage`) are cached — tokens are
+    mutable by design and one stale byte image would corrupt the ring.
+    """
+
+    __slots__ = ("_entries", "_capacity", "hits", "misses")
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._entries: dict = {}  # (id, ring) -> (packet, bytes); dicts are
+        self._capacity = capacity  # insertion-ordered, evict the oldest
+        self.hits = 0
+        self.misses = 0
+
+    def encode(self, packet: Packet) -> bytes:
+        if not isinstance(packet, (DataPacket, JoinMessage)):
+            return encode_packet(packet)
+        key = (id(packet), getattr(packet, "ring_id", None))
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is packet:
+            self.hits += 1
+            return entry[1]
+        data = encode_packet(packet)
+        self.misses += 1
+        entries = self._entries
+        if len(entries) >= self._capacity and key not in entries:
+            entries.pop(next(iter(entries)))
+        entries[key] = (packet, data)
+        return data
 
 
 def decode_packet(data: bytes) -> Packet:
@@ -154,11 +217,7 @@ def _decode_token(body: bytes, offset: int) -> Token:
     (seq, aru, aru_id, fcc, backlog,
      rotation, done_count, rtr_count) = _TOKEN_FIXED.unpack_from(body, offset)
     offset += _TOKEN_FIXED.size
-    rtr = []
-    for _ in range(rtr_count):
-        (entry,) = struct.unpack_from(">Q", body, offset)
-        offset += 8
-        rtr.append(entry)
+    rtr = list(_run_struct("Q", rtr_count).unpack_from(body, offset)) if rtr_count else []
     return Token(ring_id=ring, seq=seq, aru=aru, aru_id=aru_id, fcc=fcc,
                  backlog=backlog, rotation=rotation, rtr=rtr,
                  done_count=done_count)
@@ -167,16 +226,9 @@ def _decode_token(body: bytes, offset: int) -> Token:
 def _decode_join(body: bytes, offset: int) -> JoinMessage:
     sender, ring_seq, proc_count, fail_count = _JOIN_FIXED.unpack_from(body, offset)
     offset += _JOIN_FIXED.size
-    proc = []
-    for _ in range(proc_count):
-        (node,) = struct.unpack_from(">I", body, offset)
-        offset += 4
-        proc.append(node)
-    fail = []
-    for _ in range(fail_count):
-        (node,) = struct.unpack_from(">I", body, offset)
-        offset += 4
-        fail.append(node)
+    proc = _run_struct("I", proc_count).unpack_from(body, offset) if proc_count else ()
+    offset += 4 * proc_count
+    fail = _run_struct("I", fail_count).unpack_from(body, offset) if fail_count else ()
     return JoinMessage(sender=sender, proc_set=frozenset(proc),
                        fail_set=frozenset(fail), ring_seq=ring_seq)
 
@@ -185,11 +237,8 @@ def _decode_commit(body: bytes, offset: int) -> CommitToken:
     ring, offset = _decode_ring(body, offset)
     rotation, member_count, info_count = _COMMIT_FIXED.unpack_from(body, offset)
     offset += _COMMIT_FIXED.size
-    members = []
-    for _ in range(member_count):
-        (node,) = struct.unpack_from(">I", body, offset)
-        offset += 4
-        members.append(node)
+    members = _run_struct("I", member_count).unpack_from(body, offset) if member_count else ()
+    offset += 4 * member_count
     info = {}
     for _ in range(info_count):
         node, old_seq, old_rep, aru, high = _INFO_FIXED.unpack_from(body, offset)

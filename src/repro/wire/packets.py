@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..types import NodeId, RingId, SeqNum
 
@@ -52,6 +52,14 @@ class ChunkFlags(enum.IntFlag):
     LAST = 2
 
 
+#: Plain-int flag masks.  ``IntFlag.__and__`` costs an enum construction per
+#: call, which dominates profiles of per-chunk checks on the delivery path;
+#: the hot code tests against these ints instead.
+FLAG_FIRST = int(ChunkFlags.FIRST)
+FLAG_LAST = int(ChunkFlags.LAST)
+FLAG_WHOLE = FLAG_FIRST | FLAG_LAST
+
+
 @dataclass(frozen=True)
 class Chunk:
     """One packed unit inside a :class:`DataPacket`.
@@ -68,11 +76,11 @@ class Chunk:
 
     @property
     def is_first(self) -> bool:
-        return bool(self.flags & ChunkFlags.FIRST)
+        return bool(self.flags & FLAG_FIRST)
 
     @property
     def is_last(self) -> bool:
-        return bool(self.flags & ChunkFlags.LAST)
+        return bool(self.flags & FLAG_LAST)
 
     def wire_size(self) -> int:
         return CHUNK_HEADER_BYTES + len(self.data)
@@ -80,8 +88,7 @@ class Chunk:
     @staticmethod
     def whole(msg_id: int, data: bytes, kind: ChunkKind = ChunkKind.APP) -> "Chunk":
         """A chunk holding an entire (unfragmented) message."""
-        return Chunk(kind=kind, msg_id=msg_id,
-                     flags=int(ChunkFlags.FIRST | ChunkFlags.LAST), data=data)
+        return Chunk(kind=kind, msg_id=msg_id, flags=FLAG_WHOLE, data=data)
 
 
 @dataclass(frozen=True)
@@ -96,9 +103,19 @@ class DataPacket:
     ring_id: RingId
     seq: SeqNum
     chunks: Tuple[Chunk, ...]
+    #: Lazily cached wire size.  A packet is sized several times on its way
+    #: through send-cost, medium-occupancy and receive-cost accounting (×N
+    #: networks); excluded from ==/hash so codec round-trips stay exact.
+    _wire_size: Optional[int] = field(default=None, compare=False, repr=False,
+                                      init=False)
 
     def wire_size(self) -> int:
-        return sum(c.wire_size() for c in self.chunks)
+        size = self._wire_size
+        if size is None:
+            size = (CHUNK_HEADER_BYTES * len(self.chunks)
+                    + sum(len(c.data) for c in self.chunks))
+            object.__setattr__(self, "_wire_size", size)
+        return size
 
     @property
     def packet_type(self) -> PacketType:

@@ -49,3 +49,38 @@ class TestCli:
                      "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "passive" not in out.replace("active_passive", "")
+
+
+class TestTraceDeterminism:
+    """Same-seed runs must be bit-for-bit identical, trace line by trace
+    line.  This is the regression net for scheduler/LAN hot-path changes
+    (event batching, heap compaction): any observable reordering shows up
+    as a diff in the trace-recorder output."""
+
+    def test_same_seed_case_trace_byte_identical(self):
+        from repro.check import run_case
+        from repro.types import ReplicationStyle
+        kwargs = dict(duration=0.4, messages=40, capture_trace=True)
+        a = run_case(ReplicationStyle.ACTIVE, 13, **kwargs)
+        b = run_case(ReplicationStyle.ACTIVE, 13, **kwargs)
+        assert a.trace_text is not None and a.trace_text != ""
+        assert a.trace_text.encode() == b.trace_text.encode()
+        assert a.delivered == b.delivered
+
+    def test_same_seed_sweep_trace_byte_identical(self):
+        kwargs = dict(runs_per_style=1, base_seed=4, duration=0.3,
+                      messages=30, capture_trace=True)
+        first = run_sweep(**kwargs)
+        second = run_sweep(**kwargs)
+        texts_a = [case.trace_text for case in first.cases]
+        texts_b = [case.trace_text for case in second.cases]
+        assert all(text for text in texts_a)
+        assert texts_a == texts_b
+        assert ([case.delivered for case in first.cases]
+                == [case.delivered for case in second.cases])
+
+    def test_trace_capture_off_by_default(self):
+        from repro.check import run_case
+        from repro.types import ReplicationStyle
+        case = run_case(ReplicationStyle.ACTIVE, 3, duration=0.2, messages=10)
+        assert case.trace_text is None

@@ -189,3 +189,153 @@ class TestCli:
         from repro.bench.cli import main
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+class TestGate:
+    """Error paths and comparison logic of the benchmark-regression gate."""
+
+    def _fake_result(self, events=100_000.0, ops=10_000.0,
+                     p50=0.4, p99=0.5):
+        from repro.bench.gate import SCHEMA_VERSION
+        return {
+            "schema": SCHEMA_VERSION,
+            "label": "x",
+            "quick": True,
+            "workloads": {
+                "fig6_active_4n_700B": {
+                    "events_per_sec": events, "ops_per_sec": ops},
+            },
+            "latency": {"virtual_p50_ms": p50, "virtual_p99_ms": p99},
+        }
+
+    def test_missing_explicit_baseline_raises(self, tmp_path):
+        from repro.bench.gate import run_gate
+        from repro.errors import GateError
+        with pytest.raises(GateError, match="cannot read baseline"):
+            run_gate(output=str(tmp_path / "BENCH_out.json"),
+                     baseline=str(tmp_path / "BENCH_missing.json"),
+                     quick=True)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from repro.bench.gate import load_result
+        from repro.errors import GateError
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(GateError, match="malformed"):
+            load_result(str(bad))
+
+    def test_baseline_without_workloads_raises(self, tmp_path):
+        import json
+
+        from repro.bench.gate import load_result
+        from repro.errors import GateError
+        doc = tmp_path / "BENCH_odd.json"
+        doc.write_text(json.dumps({"schema": 1}), encoding="utf-8")
+        with pytest.raises(GateError, match="not a gate result"):
+            load_result(str(doc))
+
+    def test_wrong_schema_raises(self, tmp_path):
+        import json
+
+        from repro.bench.gate import load_result
+        from repro.errors import GateError
+        doc = tmp_path / "BENCH_old.json"
+        doc.write_text(json.dumps({"schema": 999, "workloads": {}}),
+                       encoding="utf-8")
+        with pytest.raises(GateError, match="schema"):
+            load_result(str(doc))
+
+    def test_compare_passes_within_threshold(self):
+        from repro.bench.gate import compare
+        baseline = self._fake_result(events=100_000.0)
+        current = self._fake_result(events=95_000.0)  # 5% drop: tolerated
+        assert compare(current, baseline) == []
+
+    def test_compare_flags_throughput_regression(self):
+        from repro.bench.gate import compare
+        baseline = self._fake_result(events=100_000.0)
+        current = self._fake_result(events=80_000.0)  # 20% drop
+        regressions = compare(current, baseline)
+        assert len(regressions) == 1
+        assert "events_per_sec" in regressions[0]
+
+    def test_compare_flags_latency_rise(self):
+        from repro.bench.gate import compare
+        baseline = self._fake_result(p99=0.4)
+        current = self._fake_result(p99=0.6)
+        regressions = compare(current, baseline)
+        assert any("virtual_p99_ms" in line for line in regressions)
+
+    def test_compare_ignores_unknown_workloads(self):
+        from repro.bench.gate import compare
+        baseline = self._fake_result()
+        current = self._fake_result()
+        current["workloads"]["brand_new"] = {"events_per_sec": 1.0,
+                                             "ops_per_sec": 1.0}
+        assert compare(current, baseline) == []
+
+    def test_find_baseline_prefers_newest_sibling(self, tmp_path):
+        import os
+
+        from repro.bench.gate import find_baseline
+        old = tmp_path / "BENCH_pr1.json"
+        new = tmp_path / "BENCH_pr2.json"
+        out = tmp_path / "BENCH_pr3.json"
+        old.write_text("{}", encoding="utf-8")
+        new.write_text("{}", encoding="utf-8")
+        out.write_text("{}", encoding="utf-8")  # excluded: it is the output
+        os.utime(old, (1, 1))
+        os.utime(new, (2, 2))
+        assert find_baseline(str(tmp_path), str(out)) == str(new)
+        assert find_baseline(str(tmp_path / "empty"), str(out)) is None
+
+
+@pytest.mark.perf
+class TestGateSmoke:
+    """Tier-1 smoke run of the full gate path: tiny workload, no baseline,
+    no threshold enforcement — proves the harness end to end."""
+
+    def test_gate_quick_run_writes_expected_fields(self, tmp_path):
+        import json
+
+        from repro.bench.gate import run_gate
+        output = tmp_path / "BENCH_smoke.json"
+        result = run_gate(output=str(output), quick=True, enforce=False)
+        assert result["regressions"] == []
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["schema"] == 1
+        for metrics in document["workloads"].values():
+            assert metrics["events_per_sec"] > 0
+            assert metrics["ops_per_sec"] > 0
+            assert metrics["events"] > 0
+        assert document["latency"]["virtual_p99_ms"] > 0
+
+    def test_no_gate_escape_hatch_reports_but_passes(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.cli import main
+        from repro.bench.gate import SCHEMA_VERSION
+        # An impossible baseline: any real machine regresses against it.
+        baseline = tmp_path / "BENCH_prev.json"
+        baseline.write_text(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "workloads": {
+                "fig6_active_4n_700B": {"events_per_sec": 1e15,
+                                        "ops_per_sec": 1e15},
+                "fig6_none_4n_1024B": {"events_per_sec": 1e15,
+                                       "ops_per_sec": 1e15},
+            },
+            "latency": {"virtual_p50_ms": 1e-9, "virtual_p99_ms": 1e-9},
+        }), encoding="utf-8")
+        output = tmp_path / "BENCH_now.json"
+        # Enforced: the gate must fail (exit 1)...
+        assert main(["gate", "--quick", "--output", str(output),
+                     "--baseline", str(baseline)]) == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+        # ...with --no-gate it reports the regression but exits 0.
+        assert main(["gate", "--quick", "--output", str(output),
+                     "--baseline", str(baseline), "--no-gate"]) == 0
+        err = capsys.readouterr().err
+        assert "not enforced" in err
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["regressions"]

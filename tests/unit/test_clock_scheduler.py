@@ -159,3 +159,134 @@ class TestEventScheduler:
 
     def test_step_returns_false_when_drained(self):
         assert EventScheduler().step() is False
+
+
+class TestTombstoneCompaction:
+    """Cancelled timers are tombstoned in place and compacted when they
+    dominate the heap (see the scheduler module docstring)."""
+
+    def test_cancel_tombstones_without_removing(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_after(1.0, lambda: None)
+        timer.cancel()
+        assert scheduler.pending() == 1  # entry still queued...
+        assert scheduler.dead_entries == 1  # ...but tombstoned
+
+    def test_no_compaction_below_min_dead(self):
+        scheduler = EventScheduler()  # default compact_min_dead = 256
+        timers = [scheduler.call_after(10.0 + i, lambda: None)
+                  for i in range(20)]
+        for timer in timers:
+            timer.cancel()
+        assert scheduler.compactions == 0
+        assert scheduler.dead_entries == 20
+
+    def test_compaction_shrinks_heap(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 8
+        survivors = [scheduler.call_after(1.0 + i, lambda: None)
+                     for i in range(5)]
+        doomed = [scheduler.call_after(100.0 + i, lambda: None)
+                  for i in range(50)]
+        for timer in doomed:
+            timer.cancel()
+        assert scheduler.compactions >= 1
+        # Tombstones below the trigger threshold may legitimately remain;
+        # the heap must have shrunk to the survivors plus that remainder.
+        assert scheduler.dead_entries <= scheduler.compact_min_dead
+        assert scheduler.pending() == len(survivors) + scheduler.dead_entries
+        assert scheduler.pending() < len(survivors) + len(doomed)
+        assert all(timer.active for timer in survivors)
+
+    def test_compaction_requires_tombstone_majority(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 4
+        for i in range(100):
+            scheduler.call_after(1.0 + i, lambda: None)
+        doomed = [scheduler.call_after(200.0 + i, lambda: None)
+                  for i in range(30)]
+        for timer in doomed:
+            timer.cancel()
+        # 30 dead vs 100 live: above min_dead but not a majority.
+        assert scheduler.compactions == 0
+        assert scheduler.dead_entries == 30
+
+    def test_survivors_fire_in_time_order_after_compaction(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 4
+        fired = []
+        handles = {}
+        for i in range(40):
+            handles[i] = scheduler.call_after(1.0 + i * 0.1, fired.append, i)
+        # Cancel every even timer plus one odd: 21 dead vs 19 live is a
+        # tombstone majority, which triggers compaction.
+        for i in list(range(0, 40, 2)) + [39]:
+            handles[i].cancel()
+        assert scheduler.compactions >= 1
+        scheduler.run_until(100.0)
+        assert fired == list(range(1, 39, 2))
+
+    def test_insertion_tie_break_survives_compaction(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 2
+        fired = []
+        same_time = 5.0
+        keepers = []
+        doomed = []
+        for i in range(12):
+            timer = scheduler.call_at(same_time, fired.append, i)
+            (keepers if i % 3 == 0 else doomed).append((i, timer))
+        for _, timer in doomed:
+            timer.cancel()
+        assert scheduler.compactions >= 1
+        scheduler.run_until(same_time)
+        # Survivors at an identical timestamp still fire in insertion order.
+        assert fired == [i for i, _ in keepers]
+
+    def test_dead_count_drains_when_tombstones_surface(self):
+        scheduler = EventScheduler()
+        early = scheduler.call_after(0.1, lambda: None)
+        scheduler.call_after(0.2, lambda: None)
+        early.cancel()
+        assert scheduler.dead_entries == 1
+        scheduler.run_until(1.0)
+        assert scheduler.dead_entries == 0
+        assert scheduler.events_processed == 1
+
+    def test_cancel_after_fire_does_not_count_as_dead(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_after(0.1, lambda: None)
+        scheduler.run_until(1.0)
+        assert not timer.active
+        timer.cancel()  # late cancel of a fired timer
+        assert timer.cancelled
+        assert scheduler.dead_entries == 0
+
+    def test_double_cancel_counts_once(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_after(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert scheduler.dead_entries == 1
+
+    def test_compaction_during_run_keeps_draining(self):
+        """A compaction triggered from inside a callback must not detach
+        the heap alias held by the running ``run_until`` loop."""
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 2
+        fired = []
+        doomed = [scheduler.call_after(50.0 + i, lambda: None)
+                  for i in range(10)]
+
+        def cancel_all():
+            fired.append("cancel")
+            for timer in doomed:
+                timer.cancel()
+
+        scheduler.call_after(0.1, cancel_all)
+        scheduler.call_after(0.2, fired.append, "late")
+        scheduler.run_until(1.0)
+        assert fired == ["cancel", "late"]
+        assert scheduler.compactions >= 1
+        # Anything still queued can only be a leftover tombstone.
+        assert scheduler.pending() == scheduler.dead_entries
