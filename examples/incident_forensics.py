@@ -10,7 +10,10 @@ what happened from two sources the library maintains automatically:
   milestones with virtual timestamps and reasons,
 * the **fault reports** plus the §3-motivated automated **diagnosis**
   (`cluster.diagnose_faults()`), which infers the physical fault from who
-  reported what, in which order.
+  reported what, in which order,
+* the **telemetry subsystem** (`repro.obs`, enabled here with
+  `obs="full"`) — time series, health scores and a self-contained
+  HTML/SVG run report showing the whole afternoon on one timeline.
 
 Run:  python examples/incident_forensics.py
 """
@@ -26,6 +29,7 @@ from repro import (
 )
 from repro.bench.workload import SaturatingWorkload
 from repro.core import format_diagnoses
+from repro.obs import build_run_document, write_report, write_run_document
 
 
 def main() -> None:
@@ -33,6 +37,7 @@ def main() -> None:
         num_nodes=4,
         totem=TotemConfig(replication=ReplicationStyle.PASSIVE,
                           num_networks=2),
+        obs="full",  # telemetry: sampling + per-event hooks
     )
     cluster = SimCluster(config)
 
@@ -65,6 +70,21 @@ def main() -> None:
 
     print("\n=== automated diagnosis (paper §3) ===")
     print(format_diagnoses(cluster.diagnose_faults()))
+
+    print("\n=== telemetry (repro.obs) ===")
+    obs = cluster.obs
+    for i in range(len(cluster.lans)):
+        print(f"  net{i}: health {obs.health.score(i):.2f} "
+              f"({obs.health.state(i)})")
+    for transition in obs.health.transitions:
+        print(f"  {transition}")
+    document = build_run_document(
+        cluster, meta={"title": "Incident forensics: a bad afternoon"})
+    write_run_document(document, "incident_run.json")
+    write_report(document, "incident_report.html")
+    print("  wrote incident_run.json (replayable with "
+          "`python -m repro.obs report incident_run.json`)")
+    print("  wrote incident_report.html (open in any browser)")
 
     cluster.assert_total_order(nodes=(1, 2, 3))
     print("\ntotal order verified across the continuously-alive nodes")

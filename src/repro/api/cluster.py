@@ -50,6 +50,14 @@ class SimCluster:
                 self.checker.attach_lan(lan)
             for node in self.nodes.values():
                 self.checker.attach_node(node)
+        #: Telemetry sampler (:mod:`repro.obs`), None when off.
+        self.obs = None
+        if config.obs != "off":
+            from ..obs import ClusterObservability
+            self.obs = ClusterObservability(
+                self, mode=config.obs, interval=config.obs_interval)
+            for node in self.nodes.values():
+                self.obs.attach_node(node)
 
     # ----- lifecycle -----
 
@@ -63,6 +71,8 @@ class SimCluster:
         members = sorted(self.nodes) if preformed else None
         for node in self.nodes.values():
             node.start(members)
+        if self.obs is not None:
+            self.obs.start()
 
     def node(self, node_id: NodeId) -> TotemNode:
         return self.nodes[node_id]
@@ -104,6 +114,12 @@ class SimCluster:
                     f"fault plan references network {event.network}, "
                     f"cluster has {len(self.lans)}")
             lan = self.lans[event.network]
+            if self.obs is not None:
+                # Marker first, then the transition: scheduler ties break by
+                # insertion order, so the timeline shows cause before effect.
+                self.scheduler.call_at(
+                    event.time, self.obs.record_fault_injection,
+                    event.network, event.label)
             self.scheduler.call_at(event.time, event.apply, lan.faults)
 
     def crash_node(self, node_id: NodeId) -> None:
@@ -154,6 +170,8 @@ class SimCluster:
             # incarnation keeps its old probe, so a timer that leaks past
             # stop() is still caught.
             self.checker.attach_node(fresh)
+        if self.obs is not None:
+            self.obs.attach_node(fresh)
         self.tracer.emit(node_id, "membership", "restart",
                          "fresh incarnation booted")
         fresh.start(None)

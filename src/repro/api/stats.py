@@ -3,13 +3,19 @@
 Pulls together the per-node SRP/RRP counters, per-LAN traffic accounting
 and per-node CPU accounting into one summary — the benches, examples and
 operators' first stop when asking "what did this run actually do?".
+
+The raw counter plumbing lives in :mod:`repro.obs.collect`; this module
+only shapes those snapshots into the stable summary dataclasses, so the
+telemetry subsystem and the summary never disagree about what a counter
+means.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List
 
+from ..obs.collect import snapshot_lan, snapshot_node
 from ..types import NodeId
 
 
@@ -84,37 +90,21 @@ class ClusterSummary:
         return "\n".join(lines)
 
 
+#: The snapshot dicts are a superset of the summary fields; project them.
+_NODE_FIELDS = tuple(f.name for f in fields(NodeSummary))
+_LAN_FIELDS = tuple(f.name for f in fields(LanSummary))
+
+
 def summarize(cluster) -> ClusterSummary:
     """Build a :class:`ClusterSummary` from a live :class:`SimCluster`."""
     elapsed = cluster.now
     nodes: Dict[NodeId, NodeSummary] = {}
-    for node_id, node in cluster.nodes.items():
-        stats = node.srp.stats
+    for node_id in sorted(cluster.nodes):
+        snap = snapshot_node(cluster.nodes[node_id], elapsed)
         nodes[node_id] = NodeSummary(
-            node=node_id,
-            state=node.srp.state.value,
-            msgs_submitted=stats.msgs_submitted,
-            msgs_delivered=stats.msgs_delivered,
-            bytes_delivered=stats.bytes_delivered,
-            duplicate_packets=stats.duplicate_packets,
-            retransmissions_served=stats.retransmissions_served,
-            retransmission_requests=stats.retransmission_requests,
-            tokens_accepted=stats.tokens_accepted,
-            membership_changes=stats.membership_changes,
-            faulty_networks=list(node.faulty_networks),
-            fault_reports=len(node.log.fault_reports),
-            cpu_utilization=node.cpu.stats.utilization(elapsed),
-        )
-    lans = [
-        LanSummary(
-            index=lan.index,
-            frames_sent=lan.stats.frames_sent,
-            deliveries=lan.stats.deliveries,
-            frames_lost=lan.stats.frames_lost,
-            frames_blocked=lan.stats.frames_blocked,
-            wire_bytes=lan.stats.wire_bytes,
-            utilization=lan.stats.utilization(elapsed),
-        )
-        for lan in cluster.lans
-    ]
+            **{name: snap[name] for name in _NODE_FIELDS})
+    lans = []
+    for lan in cluster.lans:
+        snap = snapshot_lan(lan, elapsed)
+        lans.append(LanSummary(**{name: snap[name] for name in _LAN_FIELDS}))
     return ClusterSummary(elapsed=elapsed, nodes=nodes, lans=lans)

@@ -236,6 +236,14 @@ class ClusterConfig:
     #: ``"observe"`` (record violations) or ``"strict"`` (raise on the
     #: first violation).  The test suite turns this on cluster-wide.
     invariants: str = "off"
+    #: Telemetry (:mod:`repro.obs`): ``"off"`` (default — the hot path pays
+    #: nothing), ``"sampled"`` (periodic read-only sampling of existing
+    #: counters every ``obs_interval`` virtual seconds) or ``"full"``
+    #: (sampling plus per-event hooks: rotation histograms, token-timeout
+    #: and token-loss events).
+    obs: str = "off"
+    #: Virtual-time sampling period for ``obs`` modes (seconds).
+    obs_interval: float = 0.01
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -244,3 +252,8 @@ class ClusterConfig:
             raise ConfigError(
                 f"invariants must be 'off', 'observe' or 'strict', "
                 f"got {self.invariants!r}")
+        if self.obs not in ("off", "sampled", "full"):
+            raise ConfigError(
+                f"obs must be 'off', 'sampled' or 'full', got {self.obs!r}")
+        if self.obs_interval <= 0:
+            raise ConfigError("obs_interval must be positive")

@@ -148,6 +148,7 @@ class ActiveReplication(ReplicationEngine):
         if self._last_token is None or self._delivered_current:
             return
         self.stats.token_timer_expiries += 1
+        self._note_token_timeout("active-merge")
         for i in range(self.config.num_networks):
             if not self._recv_flags[i]:
                 self.monitor.token_copy_missing(i)

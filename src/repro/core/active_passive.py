@@ -219,6 +219,7 @@ class ActivePassiveReplication(ReplicationEngine):
             return
         if self._buffered_token is not None:
             self.stats.token_timer_expiries += 1
+            self._note_token_timeout("ap-gap")
             self._release_buffered(network=TIMEOUT_NETWORK)
 
     # ----- stage-2 token timer -----
@@ -241,4 +242,5 @@ class ActivePassiveReplication(ReplicationEngine):
         if self._last_token is None or self._delivered_current:
             return
         self.stats.token_timer_expiries += 1
+        self._note_token_timeout("ap-assemble")
         self._deliver_assembled(network=TIMEOUT_NETWORK)

@@ -75,6 +75,8 @@ class ReplicationEngine:
         self._stopped = False
         #: Optional :class:`repro.check.NodeProbe` observing protocol events.
         self.probe = None
+        #: Optional :class:`repro.obs.ClusterObservability` hook (full mode).
+        self.obs = None
         stack.set_receive_handler(self.on_packet)
 
     # ----- wiring -----
@@ -107,6 +109,11 @@ class ReplicationEngine:
         """Report a timer callback to the invariant probe (if attached)."""
         if self.probe is not None:
             self.probe.engine_timer_fired(name, self._stopped)
+
+    def _note_token_timeout(self, kind: str) -> None:
+        """Report a token-timer expiry to the obs layer (full mode only)."""
+        if self.obs is not None:
+            self.obs.engine_token_timeout(self.node_id, kind)
 
     @property
     def srp(self):

@@ -184,4 +184,5 @@ class PassiveReplication(ReplicationEngine):
         if self._stopped or self._buffered_token is None:
             return
         self.stats.token_timer_expiries += 1
+        self._note_token_timeout("passive-gap")
         self._release_buffered(network=TIMEOUT_NETWORK)

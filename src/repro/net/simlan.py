@@ -48,6 +48,20 @@ class LanStats:
             return 0.0
         return min(1.0, self.busy_time / elapsed)
 
+    def snapshot(self, elapsed: float) -> dict:
+        """All counters as one plain dict (for :mod:`repro.obs`)."""
+        return {
+            "frames_offered": self.frames_offered,
+            "frames_sent": self.frames_sent,
+            "deliveries": self.deliveries,
+            "frames_lost": self.frames_lost,
+            "frames_blocked": self.frames_blocked,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "busy_time": self.busy_time,
+            "utilization": self.utilization(elapsed),
+        }
+
 
 class SimLan:
     """One simulated Ethernet network with an arbitrary set of attached nodes."""

@@ -69,6 +69,10 @@ class UdpStack:
         self._handler: Optional[PacketHandler] = None
         self.errors: List[Exception] = []
         self.decode_failures = 0
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+        self.datagrams_received = 0
+        self.bytes_received = 0
         #: Active replication re-sends the same packet object on every
         #: network; cache the encoded bytes so N sends serialise once.
         self._encode_cache = PackedPacketCache()
@@ -105,6 +109,8 @@ class UdpStack:
             raise TransportError("UdpStack not opened")
         addr = tuple(self.addresses[dest][network])
         self._transports[network].sendto(data, addr)
+        self.datagrams_sent += 1
+        self.bytes_sent += len(data)
 
     def broadcast(self, network: int, packet: object) -> None:
         data = self._encode_cache.encode(packet)  # type: ignore[arg-type]
@@ -116,9 +122,21 @@ class UdpStack:
         data = self._encode_cache.encode(packet)  # type: ignore[arg-type]
         self._send(network, dest, data)
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Wire-level counters (the real-transport face of :mod:`repro.obs`)."""
+        return {
+            "datagrams_sent": self.datagrams_sent,
+            "bytes_sent": self.bytes_sent,
+            "datagrams_received": self.datagrams_received,
+            "bytes_received": self.bytes_received,
+            "decode_failures": self.decode_failures,
+        }
+
     # ----- upward (wire -> engine) -----
 
     def _on_datagram(self, data: bytes, network: int) -> None:
+        self.datagrams_received += 1
+        self.bytes_received += len(data)
         if self._handler is None:
             return
         try:

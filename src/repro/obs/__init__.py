@@ -1,0 +1,74 @@
+"""repro.obs — deterministic telemetry for the Totem RRP simulator.
+
+The subsystem splits into five small layers:
+
+* :mod:`repro.obs.metrics` — a typed metric registry (counters, gauges,
+  fixed-bucket streaming histograms).  No wall clock, no global state.
+* :mod:`repro.obs.collect` — read-only snapshot helpers over the existing
+  stats structures (``SrpStats``, ``LanStats``, monitors, scheduler).
+* :mod:`repro.obs.sampler` — :class:`ClusterObservability`, the per-cluster
+  sampler: periodic virtual-time sampling plus (in ``full`` mode) per-event
+  hooks on the SRP/RRP engines.
+* :mod:`repro.obs.health` — :class:`RingHealthModel`, folding monitor
+  pressure, wire loss and fault verdicts into a per-network health score
+  with hysteresis.
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL, Prometheus
+  text and self-contained HTML/SVG run reports.
+
+Enable it per cluster with ``ClusterConfig(obs="sampled")`` (read-only
+periodic sampling) or ``obs="full"`` (sampling + event hooks); the default
+``"off"`` constructs nothing and the hot path pays at most one attribute
+test per token.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .export import (
+    RUN_SCHEMA_VERSION,
+    build_run_document,
+    load_run_document,
+    prometheus_text,
+    read_jsonl,
+    samples_to_jsonl,
+    write_jsonl,
+    write_run_document,
+)
+from .health import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    HealthInput,
+    HealthTransition,
+    RingHealthModel,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from .report import render_report, write_report
+from .sampler import ClusterObservability, ObsEvent
+
+__all__ = [
+    "RUN_SCHEMA_VERSION",
+    "build_run_document",
+    "load_run_document",
+    "prometheus_text",
+    "read_jsonl",
+    "samples_to_jsonl",
+    "write_jsonl",
+    "write_run_document",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "HealthInput",
+    "HealthTransition",
+    "RingHealthModel",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "render_report",
+    "write_report",
+    "ClusterObservability",
+    "ObsEvent",
+]

@@ -1,0 +1,102 @@
+"""Read-only snapshot collection from live protocol objects.
+
+Every function here walks existing stats structures (``SrpStats``,
+``RrpStats``, ``LanStats``, ``CpuStats``, the §5/§6 monitor counters) and
+returns plain dicts.  Nothing is mutated and nothing is scheduled, so a
+snapshot never perturbs the protocol trajectory — the same guarantee the
+invariant checker makes.
+
+The dict keys deliberately match the field names of
+:class:`repro.api.stats.NodeSummary` / :class:`~repro.api.stats.LanSummary`
+(a superset of them), so the summary layer builds its dataclasses straight
+from these snapshots instead of duplicating the counter plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def snapshot_node(node, elapsed: float) -> Dict[str, Any]:
+    """Everything one node exposes, as one flat dict."""
+    srp = node.srp.stats
+    rrp = node.rrp.stats
+    return {
+        "node": node.node_id,
+        "state": node.srp.state.value,
+        # SRP counters.
+        "msgs_submitted": srp.msgs_submitted,
+        "msgs_delivered": srp.msgs_delivered,
+        "bytes_delivered": srp.bytes_delivered,
+        "packets_broadcast": srp.packets_broadcast,
+        "packets_received": srp.packets_received,
+        "duplicate_packets": srp.duplicate_packets,
+        "retransmissions_served": srp.retransmissions_served,
+        "retransmission_requests": srp.retransmission_requests,
+        "tokens_accepted": srp.tokens_accepted,
+        "tokens_sent": srp.tokens_sent,
+        "token_retransmits": srp.token_retransmits,
+        "token_loss_events": srp.token_loss_events,
+        "gathers_entered": srp.gathers_entered,
+        "membership_changes": srp.membership_changes,
+        "rotation_count": srp.rotation_count,
+        "rotation_time_total": srp.rotation_time_total,
+        "rotation_time_max": srp.rotation_time_max,
+        "send_queue_depth": node.srp.send_queue_depth,
+        # RRP counters.
+        "token_timer_expiries": rrp.token_timer_expiries,
+        "tokens_buffered": rrp.tokens_buffered,
+        "tokens_superseded": rrp.tokens_superseded,
+        "faulty_networks": sorted(node.faulty_networks),
+        "fault_reports": len(node.log.fault_reports),
+        # CPU.
+        "cpu_utilization": node.cpu.stats.utilization(elapsed),
+        "cpu_operations": node.cpu.stats.operations,
+        "cpu_queue_depth": node.cpu.queue_depth,
+    }
+
+
+def snapshot_lan(lan, elapsed: float) -> Dict[str, Any]:
+    """One network's traffic accounting (see :class:`LanStats.snapshot`)."""
+    snap = lan.stats.snapshot(elapsed)
+    snap["index"] = lan.index
+    return snap
+
+
+def snapshot_scheduler(scheduler) -> Dict[str, Any]:
+    """Simulator-core metrics (see :meth:`EventScheduler.metrics`)."""
+    return scheduler.metrics()
+
+
+def monitor_pressures(node, num_networks: int) -> Dict[str, List[float]]:
+    """Per-network monitor pressure in units of "fractions of condemnation".
+
+    * ``problem`` — the §5 problem counter over its threshold (active and
+      the single-network baseline report zeros when no monitor exists);
+    * ``skew`` — the worst Figure-5 receive-count lag over its threshold,
+      across the token monitor and every per-origin message monitor.
+
+    1.0 means "one more bad sample condemns the network"; values are not
+    clamped so a probe can see how far past the threshold a counter went
+    before the fault mark reset it.
+    """
+    problem = [0.0] * num_networks
+    skew = [0.0] * num_networks
+    engine = node.rrp
+    monitor = getattr(engine, "monitor", None)
+    if monitor is not None:
+        for i in range(min(num_networks, len(monitor.counters))):
+            problem[i] = monitor.pressure(i)
+    monitors = []
+    token_monitor = getattr(engine, "token_monitor", None)
+    if token_monitor is not None:
+        monitors.append(token_monitor)
+    monitors.extend(getattr(engine, "message_monitors", {}).values())
+    for module in monitors:
+        if module.threshold <= 0:
+            continue
+        for i in range(min(num_networks, len(module.recv_count))):
+            lag = module.skew(i) / module.threshold
+            if lag > skew[i]:
+                skew[i] = lag
+    return {"problem": problem, "skew": skew}

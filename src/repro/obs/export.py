@@ -1,0 +1,181 @@
+"""Exporters: JSONL sample streams, Prometheus text, and run documents.
+
+All output is deterministic: keys are sorted, floats come straight from the
+virtual-time computation (no wall clock anywhere), and metrics iterate in
+registry order — the same seed and config always produce byte-identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..errors import ConfigError
+from .metrics import Histogram, MetricRegistry
+
+RUN_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL sample streams
+# ----------------------------------------------------------------------
+
+def samples_to_jsonl(samples: Iterable[Dict[str, Any]]) -> str:
+    """One compact JSON object per line, keys sorted (deterministic)."""
+    return "".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        for row in samples)
+
+
+def write_jsonl(samples: Iterable[Dict[str, Any]], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(samples_to_jsonl(samples))
+    return path
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition format
+# ----------------------------------------------------------------------
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """The text exposition format (one HELP/TYPE block per metric name).
+
+    Histograms render as cumulative ``_bucket`` series plus ``_sum`` and
+    ``_count``, exactly as a Prometheus client library would.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        suffix = metric.label_string()
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                le = _bucket_labels(metric, f"{bound:g}")
+                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+            lines.append(
+                f"{metric.name}_bucket{_bucket_labels(metric, '+Inf')} "
+                f"{metric.count}")
+            lines.append(f"{metric.name}_sum{suffix} {_num(metric.total)}")
+            lines.append(f"{metric.name}_count{suffix} {metric.count}")
+        else:
+            lines.append(f"{metric.name}{suffix} {_num(metric.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _bucket_labels(metric, le: str) -> str:
+    pairs = list(metric.labels) + [("le", le)]
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+# ----------------------------------------------------------------------
+# Run documents (what `repro.obs record` writes and `report` reads)
+# ----------------------------------------------------------------------
+
+def build_run_document(cluster, meta: Dict[str, Any] = None) -> Dict[str, Any]:
+    """Fold a finished (or paused) run into one self-contained document.
+
+    Requires the cluster to have been built with ``obs != "off"`` — the
+    document is the sampler's time series plus everything pulled at export
+    time: fault reports, membership milestones from the tracer, health
+    transitions, diagnosis, and the cluster summary.
+    """
+    obs = getattr(cluster, "obs", None)
+    if obs is None:
+        raise ConfigError(
+            "cluster has no observability attached; build it with "
+            "ClusterConfig(obs='sampled') or obs='full'")
+    summary = cluster.summary()
+    events = [e.to_dict() for e in obs.events]
+    for report in cluster.all_fault_reports():
+        events.append({
+            "time": report.time,
+            "kind": f"fault-report:{report.kind.value}",
+            "node": report.node,
+            "network": report.network,
+            "detail": report.detail,
+        })
+    for trace_event in cluster.tracer.events(category="membership"):
+        if trace_event.event in ("gather", "ring-installed", "restart"):
+            events.append({
+                "time": trace_event.time,
+                "kind": f"membership:{trace_event.event}",
+                "node": trace_event.node,
+                "network": None,
+                "detail": trace_event.detail,
+            })
+    events.sort(key=lambda e: (e["time"], e["kind"],
+                               e["node"] if e["node"] is not None else -1))
+    config = cluster.config
+    document = {
+        "schema": RUN_SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "config": {
+            "num_nodes": config.num_nodes,
+            "num_networks": config.totem.num_networks,
+            "replication": config.totem.replication.value,
+            "seed": config.seed,
+            "obs": config.obs,
+            "obs_interval": config.obs_interval,
+        },
+        "elapsed": cluster.now,
+        "samples": obs.samples,
+        "events": events,
+        "events_dropped": obs.events_dropped,
+        "health_transitions": [
+            {"time": t.time, "network": t.network, "old_state": t.old_state,
+             "new_state": t.new_state, "score": round(t.score, 6)}
+            for t in obs.health.transitions
+        ],
+        "metrics": obs.registry.snapshot(),
+        "diagnoses": [str(d) for d in cluster.diagnose_faults()],
+        "summary": {
+            "total_delivered": summary.total_delivered,
+            "total_retransmissions": summary.total_retransmissions,
+            "min_node_msgs_per_sec": summary.aggregate_msgs_per_sec,
+            "text": summary.format(),
+        },
+    }
+    return document
+
+
+def write_run_document(document: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_run_document(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "samples" not in document:
+        raise ConfigError(f"{path} is not a repro.obs run document")
+    if document.get("schema") != RUN_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path} has schema {document.get('schema')!r}, "
+            f"expected {RUN_SCHEMA_VERSION}")
+    return document

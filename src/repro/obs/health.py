@@ -1,0 +1,175 @@
+"""Per-network ring-health model with hysteresis.
+
+The RRP's own monitors (paper §5/§6) answer a binary question per node —
+"should I stop sending on this network?" — with thresholds tuned to avoid
+false positives.  Operators need an earlier, graded signal: a network whose
+receive counts are *drifting* or whose problem counters *oscillate* is
+degrading long before any node condemns it.  Multi-Ring Paxos (Benz et al.)
+makes the same observation: once a system runs many rings over shared
+networks, partition/health monitoring has to be a first-class subsystem.
+
+:class:`RingHealthModel` folds, per network and per sampling window:
+
+* **problem pressure** — the worst problem-counter value across nodes,
+  normalised by the condemnation threshold (active replication, §5);
+* **skew pressure** — the worst receive-count lag across nodes and monitor
+  modules, normalised by the condemnation threshold (passive, Figure 5);
+* **loss fraction** — frames lost / frames offered on the medium in the
+  window (the simulator's ground truth, or 0 when unavailable);
+* **fault fraction** — the fraction of nodes currently marking the network
+  faulty (a node-level verdict dominates every soft signal).
+
+into a health *score* in [0, 1] with asymmetric first-order smoothing: the
+score tracks a degrading target quickly (``gain_down``) and a recovering
+target slowly (``gain_up``), so one clean sample after an incident does not
+flip the state back.  The discrete *state* (healthy / degraded / failed)
+adds a second layer of hysteresis: downgrade and upgrade thresholds are
+separated, so a score hovering at a boundary cannot flap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class HealthInput:
+    """One network's observed pressures over one sampling window."""
+
+    problem_pressure: float = 0.0   # max problem counter / threshold
+    skew_pressure: float = 0.0      # max recv-count lag / threshold
+    loss_fraction: float = 0.0      # frames lost / frames offered
+    fault_fraction: float = 0.0     # nodes marking faulty / nodes
+
+    def target(self) -> float:
+        """Instantaneous health target implied by this window alone."""
+        penalty = (0.6 * min(1.0, max(0.0, self.problem_pressure))
+                   + 0.5 * min(1.0, max(0.0, self.skew_pressure))
+                   + 0.8 * min(1.0, max(0.0, self.loss_fraction))
+                   + 1.0 * min(1.0, max(0.0, self.fault_fraction)))
+        return max(0.0, 1.0 - min(1.0, penalty))
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One state change of one network."""
+
+    time: float
+    network: int
+    old_state: str
+    new_state: str
+    score: float
+
+    def __str__(self) -> str:
+        return (f"[t={self.time:.6f}] net{self.network} "
+                f"{self.old_state} -> {self.new_state} "
+                f"(score {self.score:.2f})")
+
+
+@dataclass
+class NetworkHealth:
+    """Current health of one network."""
+
+    network: int
+    score: float = 1.0
+    state: str = HEALTHY
+
+
+class RingHealthModel:
+    """Folds monitor skew, problem counters and fault verdicts per network.
+
+    Hysteresis parameters (all tunable, defaults chosen so a total network
+    failure reaches ``failed`` within a handful of 10 ms samples while a
+    single lossy window barely dents the score):
+
+    * ``gain_down`` / ``gain_up`` — first-order smoothing gains applied when
+      the instantaneous target is below / above the current score;
+    * ``degraded_below`` / ``healthy_above`` — healthy↔degraded thresholds
+      (downgrade strictly below the former, upgrade strictly above the
+      latter);
+    * ``failed_below`` / ``recovered_above`` — degraded↔failed thresholds.
+    """
+
+    def __init__(self, num_networks: int, *,
+                 gain_down: float = 0.5, gain_up: float = 0.08,
+                 degraded_below: float = 0.65, healthy_above: float = 0.85,
+                 failed_below: float = 0.25, recovered_above: float = 0.45,
+                 ) -> None:
+        if num_networks < 1:
+            raise ConfigError("health model needs at least one network")
+        if not 0.0 < gain_down <= 1.0 or not 0.0 < gain_up <= 1.0:
+            raise ConfigError("health gains must be in (0, 1]")
+        if not (failed_below < recovered_above
+                <= degraded_below < healthy_above):
+            raise ConfigError(
+                "health thresholds must satisfy failed_below < "
+                "recovered_above <= degraded_below < healthy_above")
+        self.gain_down = gain_down
+        self.gain_up = gain_up
+        self.degraded_below = degraded_below
+        self.healthy_above = healthy_above
+        self.failed_below = failed_below
+        self.recovered_above = recovered_above
+        self.networks: List[NetworkHealth] = [
+            NetworkHealth(network=i) for i in range(num_networks)]
+        self.transitions: List[HealthTransition] = []
+
+    # ----- queries -----
+
+    def score(self, network: int) -> float:
+        return self.networks[network].score
+
+    def state(self, network: int) -> str:
+        return self.networks[network].state
+
+    def scores(self) -> List[float]:
+        return [n.score for n in self.networks]
+
+    # ----- update -----
+
+    def update(self, time: float,
+               inputs: Sequence[HealthInput]) -> List[NetworkHealth]:
+        """Fold one sampling window; returns the per-network health list."""
+        if len(inputs) != len(self.networks):
+            raise ConfigError(
+                f"health update for {len(inputs)} networks, "
+                f"model has {len(self.networks)}")
+        for health, window in zip(self.networks, inputs):
+            target = window.target()
+            gain = self.gain_down if target < health.score else self.gain_up
+            health.score += gain * (target - health.score)
+            new_state = self._next_state(health.state, health.score)
+            if new_state != health.state:
+                self.transitions.append(HealthTransition(
+                    time=time, network=health.network,
+                    old_state=health.state, new_state=new_state,
+                    score=health.score))
+                health.state = new_state
+        return self.networks
+
+    def _next_state(self, state: str, score: float) -> str:
+        if state == HEALTHY:
+            if score < self.failed_below:
+                return FAILED
+            if score < self.degraded_below:
+                return DEGRADED
+            return HEALTHY
+        if state == DEGRADED:
+            if score < self.failed_below:
+                return FAILED
+            if score > self.healthy_above:
+                return HEALTHY
+            return DEGRADED
+        # FAILED
+        if score > self.healthy_above:
+            return HEALTHY
+        if score > self.recovered_above:
+            return DEGRADED
+        return FAILED

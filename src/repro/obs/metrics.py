@@ -1,0 +1,282 @@
+"""Typed metric primitives and the registry (`repro.obs` core).
+
+Three metric types, all deterministic and wall-clock-free:
+
+* :class:`Counter` — a monotonically non-decreasing total (frames sent,
+  tokens accepted, messages delivered).
+* :class:`Gauge` — an instantaneous value that may move both ways (send
+  queue depth, health score, medium utilisation).
+* :class:`Histogram` — a streaming fixed-bucket histogram (token rotation
+  time, per-sample event rates).  Buckets are chosen at construction and
+  never rebalanced, so two runs with the same seed and config produce the
+  same counts in the same buckets, byte for byte.
+
+Metrics are identified by ``(name, labels)`` where ``labels`` is a sorted
+tuple of ``(key, value)`` string pairs — the Prometheus data model, minus
+wall-clock timestamps.  The :class:`MetricRegistry` is the single place a
+cluster's metrics live; exporters (:mod:`repro.obs.export`) iterate it in
+deterministic order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+#: Canonical label form: a sorted tuple of (key, value) pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Default buckets for token-rotation-style latencies (seconds): 100 µs to
+#: ~1 s, roughly log-spaced, fine around the paper's ~1 ms rotations.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def normalize_labels(labels) -> Labels:
+    """Canonicalise a labels mapping/iterable into a sorted tuple of pairs."""
+    if not labels:
+        return ()
+    if isinstance(labels, dict):
+        items = labels.items()
+    else:
+        items = labels
+    return tuple(sorted((str(k), str(v)) for k, v in items))
+
+
+class Metric:
+    """Common identity plumbing for every metric type."""
+
+    __slots__ = ("name", "labels", "help")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def key(self) -> Tuple[str, Labels]:
+        return (self.name, self.labels)
+
+    def label_string(self) -> str:
+        """The ``{k="v",...}`` suffix of the Prometheus exposition format."""
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return "{" + inner + "}"
+
+
+class Counter(Metric):
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("value", "_raw")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self.value: float = 0
+        self._raw: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        """Advance to an externally maintained cumulative total.
+
+        Pull-style collection reads cumulative stats counters each sample;
+        this keeps the metric monotone while mirroring them.
+        """
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot move backwards "
+                f"({self.value} -> {total})")
+        self.value = total
+
+    def mirror(self, raw: float) -> None:
+        """Advance by the delta of an external cumulative counter, staying
+        monotone across resets (a restarted node's stats restart at zero —
+        the Prometheus counter-reset convention)."""
+        if raw >= self._raw:
+            self.value += raw - self._raw
+        else:
+            self.value += raw
+        self._raw = raw
+
+
+class Gauge(Metric):
+    """An instantaneous value."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram(Metric):
+    """A streaming fixed-bucket histogram.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit +inf bucket catches the overflow.  No wall clock, no dynamic
+    rebalancing — identical observation streams yield identical state.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS,
+                 labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigError(
+                f"histogram {name} bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.bounds)
+        # Binary search for the first bound >= value (the +inf bucket when
+        # none is).
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-interpolated quantile estimate.
+
+        Exact to bucket resolution: the answer lies within the bucket that
+        contains the q-th observation, interpolated linearly inside it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = (self.bounds[i] if i < len(self.bounds)
+                         else max(self.max, lower))
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricRegistry:
+    """Get-or-create home of every metric of one cluster.
+
+    Creation is idempotent per ``(name, labels)``; asking for an existing
+    name with a different metric type raises (one name, one type — the
+    Prometheus rule).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(self, cls, name: str, labels, help: str, **kwargs):
+        canonical = normalize_labels(labels)
+        key = (name, canonical)
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ConfigError(
+                    f"metric {name} already registered as {metric.kind}, "
+                    f"requested {cls.kind}")
+            return metric
+        expected = self._kinds.get(name)
+        if expected is not None and expected != cls.kind:
+            raise ConfigError(
+                f"metric {name} already registered as {expected}, "
+                f"requested {cls.kind}")
+        metric = cls(name, labels=canonical, help=help, **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, labels=(), help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(self, name: str, labels=(), help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(self, name: str, labels=(), help: str = "",
+                  bounds: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, help,
+                                   bounds=bounds)
+
+    def get(self, name: str, labels=()) -> Optional[Metric]:
+        return self._metrics.get((name, normalize_labels(labels)))
+
+    def collect(self) -> Iterator[Metric]:
+        """Every metric, in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``name{labels} -> value`` view (histograms: summary stats)."""
+        out: Dict[str, float] = {}
+        for metric in self.collect():
+            full = metric.name + metric.label_string()
+            if isinstance(metric, Histogram):
+                for stat, value in metric.snapshot().items():
+                    out[f"{full}:{stat}"] = value
+            else:
+                out[full] = metric.value  # type: ignore[attr-defined]
+        return out
+
+
+def is_finite(value: float) -> bool:
+    """Shared guard for exporters (NaN/inf never serialise)."""
+    return isinstance(value, (int, float)) and math.isfinite(value)

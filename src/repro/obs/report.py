@@ -1,0 +1,205 @@
+"""Self-contained HTML/SVG run reports.
+
+Renders a :func:`repro.obs.export.build_run_document` document as a single
+HTML file with inline SVG timelines — token rotation per node, medium
+utilization and ring-health score per network — with fault injections,
+fault reports and membership milestones drawn as vertical markers.  No
+external assets, no JavaScript: the file opens anywhere and diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..bench.svg import timeseries_to_svg
+
+#: Event kinds -> marker colour.  Anything else gets grey.
+_EVENT_COLORS = {
+    "fault-injected": "#c0392b",
+    "fault-report:network_failed": "#d35400",
+    "fault-report:network_restored": "#27ae60",
+    "health-transition": "#8e44ad",
+    "membership:gather": "#7f8c8d",
+    "membership:ring-installed": "#1f6f8b",
+    "membership:restart": "#2c3e50",
+    "token-loss": "#c0392b",
+}
+
+#: Kinds drawn as chart markers (token timeouts are too frequent to draw).
+_MARKER_KINDS = tuple(_EVENT_COLORS)
+
+
+def _event_markers(document: Dict[str, Any],
+                   limit: int = 40) -> List[Tuple[float, str, str]]:
+    """(time, color, label) markers for the charts, oldest first, capped."""
+    markers: List[Tuple[float, str, str]] = []
+    for event in document.get("events", []):
+        kind = event["kind"]
+        if kind not in _MARKER_KINDS:
+            continue
+        color = _EVENT_COLORS.get(kind, "#7f8c8d")
+        label = kind.split(":")[-1]
+        if event.get("network") is not None:
+            label += f" n{event['network']}"
+        markers.append((event["time"], color, label))
+        if len(markers) >= limit:
+            break
+    return markers
+
+
+def _series_rotation(document: Dict[str, Any]) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in document["samples"]:
+        for node_id, snap in sorted(row["nodes"].items(), key=lambda kv: int(kv[0])):
+            value = snap.get("window_rotation_mean", 0.0) * 1e3  # -> ms
+            series.setdefault(f"node {node_id}", []).append((row["t"], value))
+    return series
+
+
+def _series_queue_depth(document: Dict[str, Any]) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in document["samples"]:
+        for node_id, snap in sorted(row["nodes"].items(), key=lambda kv: int(kv[0])):
+            series.setdefault(f"node {node_id}", []).append(
+                (row["t"], snap.get("send_queue_depth", 0)))
+    return series
+
+
+def _series_utilization(document: Dict[str, Any]) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in document["samples"]:
+        for lan in row["lans"]:
+            series.setdefault(f"net{lan['index']}", []).append(
+                (row["t"], lan.get("window_utilization", 0.0)))
+    return series
+
+
+def _series_health(document: Dict[str, Any]) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in document["samples"]:
+        for entry in row.get("health", []):
+            series.setdefault(f"net{entry['network']}", []).append(
+                (row["t"], entry["score"]))
+    return series
+
+
+def _series_skew(document: Dict[str, Any]) -> Dict[str, List[Tuple[float, float]]]:
+    """Worst monitor pressure per network over time (skew or problem)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in document["samples"]:
+        nets: Dict[int, float] = {}
+        for snap in row["nodes"].values():
+            for i, value in enumerate(snap.get("monitor_skew", [])):
+                nets[i] = max(nets.get(i, 0.0), value)
+            for i, value in enumerate(snap.get("monitor_problem", [])):
+                nets[i] = max(nets.get(i, 0.0), value)
+        for i, value in sorted(nets.items()):
+            series.setdefault(f"net{i}", []).append((row["t"], value))
+    return series
+
+
+def _events_table(events: Sequence[Dict[str, Any]], limit: int = 200) -> str:
+    rows = []
+    for event in events[:limit]:
+        who = "" if event.get("node") is None else f"node {event['node']}"
+        where = "" if event.get("network") is None else f"net{event['network']}"
+        rows.append(
+            "<tr>"
+            f"<td>{event['time']:.6f}</td>"
+            f"<td>{html.escape(event['kind'])}</td>"
+            f"<td>{who} {where}</td>"
+            f"<td>{html.escape(event.get('detail', ''))}</td>"
+            "</tr>")
+    more = ""
+    if len(events) > limit:
+        more = (f"<p class='muted'>({len(events) - limit} further events "
+                f"omitted)</p>")
+    return ("<table><thead><tr><th>t (s)</th><th>kind</th><th>where</th>"
+            "<th>detail</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>" + more)
+
+
+def render_report(document: Dict[str, Any]) -> str:
+    """The full HTML report for one run document."""
+    config = document.get("config", {})
+    meta = document.get("meta", {})
+    markers = _event_markers(document)
+    charts: List[Tuple[str, str]] = []
+
+    rotation = _series_rotation(document)
+    if any(points for points in rotation.values()):
+        charts.append(("Token rotation", timeseries_to_svg(
+            rotation, title="Token rotation time (windowed mean)",
+            y_label="rotation (ms)", events=markers, y_min=0.0)))
+    utilization = _series_utilization(document)
+    if utilization:
+        charts.append(("Network utilization", timeseries_to_svg(
+            utilization, title="Medium utilization per network",
+            y_label="utilization", events=markers, y_min=0.0, y_max=1.05)))
+    health = _series_health(document)
+    if health:
+        charts.append(("Ring health", timeseries_to_svg(
+            health, title="Ring-health score per network (hysteresis model)",
+            y_label="health score", events=markers, y_min=0.0, y_max=1.05)))
+    skew = _series_skew(document)
+    if any(value > 0 for pts in skew.values() for _, value in pts):
+        charts.append(("Monitor pressure", timeseries_to_svg(
+            skew, title="Monitor pressure (counter / condemnation threshold)",
+            y_label="pressure", events=markers, y_min=0.0)))
+    queue = _series_queue_depth(document)
+    if any(value > 0 for pts in queue.values() for _, value in pts):
+        charts.append(("Send queue", timeseries_to_svg(
+            queue, title="SRP send-queue depth",
+            y_label="messages queued", events=markers, y_min=0.0)))
+
+    title = meta.get("title", "Totem RRP run report")
+    header_rows = "".join(
+        f"<tr><th>{html.escape(str(key))}</th>"
+        f"<td>{html.escape(str(value))}</td></tr>"
+        for key, value in sorted({**config, **meta}.items()))
+    diagnoses = document.get("diagnoses", [])
+    diagnosis_html = ("<ul>" + "".join(
+        f"<li>{html.escape(d)}</li>" for d in diagnoses) + "</ul>"
+        if diagnoses else "<p class='muted'>no faults diagnosed</p>")
+
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:24px auto;max-width:860px;"
+        "color:#222}",
+        "h1{font-size:22px} h2{font-size:16px;margin-top:28px}",
+        "table{border-collapse:collapse;font-size:12px}",
+        "th,td{border:1px solid #ccc;padding:3px 8px;text-align:left}",
+        "th{background:#f4f4f4}",
+        ".muted{color:#888;font-size:12px}",
+        "pre{background:#f8f8f8;padding:8px;font-size:11px;overflow-x:auto}",
+        "</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='muted'>virtual duration "
+        f"{document.get('elapsed', 0.0):.3f}s · "
+        f"{len(document.get('samples', []))} samples · "
+        f"{len(document.get('events', []))} events</p>",
+        f"<table>{header_rows}</table>",
+    ]
+    for heading, svg in charts:
+        parts.append(f"<h2>{html.escape(heading)}</h2>")
+        parts.append(svg)
+    parts.append("<h2>Diagnosis (§3 fault-report reasoning)</h2>")
+    parts.append(diagnosis_html)
+    parts.append("<h2>Event timeline</h2>")
+    parts.append(_events_table(document.get("events", [])))
+    summary_text = document.get("summary", {}).get("text", "")
+    if summary_text:
+        parts.append("<h2>Cluster summary</h2>")
+        parts.append(f"<pre>{html.escape(summary_text)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(document: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_report(document))
+    return path

@@ -1,0 +1,318 @@
+"""Virtual-time telemetry sampling for one simulated cluster.
+
+:class:`ClusterObservability` is the run-time face of :mod:`repro.obs`.
+Its design follows the two rules that keep observation honest in a
+deterministic simulator:
+
+* **Pull, not push, for everything periodic.**  Every ``obs_interval``
+  virtual seconds a sampler event reads the existing stats structures
+  (``SrpStats``, ``LanStats``, ``CpuStats``, monitor counters) and derives
+  windowed rates.  Reading is side-effect-free, so the protocol trajectory
+  is unchanged — the sampler merely interleaves read-only callbacks into
+  the event stream.
+* **Push only for per-event signals, and only in ``full`` mode.**  Token
+  rotation times (a histogram needs every observation, not a periodic
+  glimpse), token-timer expiries and token-loss escalations are delivered
+  through ``obs`` hooks on the SRP/RRP engines, guarded by the same
+  ``is not None`` pattern as the invariant probes — with the hook detached
+  (``off``/``sampled``), the hot path pays one attribute test per token.
+
+The sampler also feeds the :class:`~repro.obs.health.RingHealthModel`: each
+window's monitor pressures, wire loss and fault verdicts fold into the
+per-network health score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .collect import (
+    monitor_pressures,
+    snapshot_lan,
+    snapshot_node,
+    snapshot_scheduler,
+)
+from .health import HealthInput, RingHealthModel
+from .metrics import MetricRegistry
+
+#: Events kept before the recorder starts dropping (bounded like Tracer).
+MAX_EVENTS = 10_000
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One discrete observability event on the run timeline."""
+
+    time: float
+    kind: str            # "fault-injected", "token-timeout", "token-loss", ...
+    node: Optional[int] = None
+    network: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        who = f" node {self.node}" if self.node is not None else ""
+        where = f" net{self.network}" if self.network is not None else ""
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"[t={self.time:.6f}]{who}{where} {self.kind}{detail}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "node": self.node,
+            "network": self.network,
+            "detail": self.detail,
+        }
+
+
+class ClusterObservability:
+    """Registry + sampler + health model for one :class:`SimCluster`."""
+
+    def __init__(self, cluster, mode: str = "sampled",
+                 interval: float = 0.01) -> None:
+        self._cluster = cluster
+        self.mode = mode
+        self.interval = interval
+        self.registry = MetricRegistry()
+        self.num_networks = len(cluster.lans)
+        self.health = RingHealthModel(self.num_networks)
+        #: One row per sampling tick (the JSONL export writes these).
+        self.samples: List[Dict[str, Any]] = []
+        #: Discrete events (bounded; see :data:`MAX_EVENTS`).
+        self.events: List[ObsEvent] = []
+        self.events_dropped = 0
+        self._timer = None
+        self._started = False
+        # Previous-sample cumulative values for windowed rates.
+        self._prev_lan: List[Dict[str, float]] = [
+            {"frames_offered": 0, "frames_lost": 0, "busy_time": 0.0}
+            for _ in cluster.lans]
+        self._prev_rotation: Dict[int, Dict[str, float]] = {}
+        self._prev_time = 0.0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_node(self, node) -> None:
+        """Install per-event hooks on one node (``full`` mode only).
+
+        Called for every node at cluster construction and again for a fresh
+        incarnation after :meth:`SimCluster.restart_node` — the abandoned
+        incarnation keeps its hook, which is harmless: its counters stop
+        moving once its timers are cancelled.
+        """
+        if self.mode == "full":
+            node.srp.obs = self
+            node.rrp.obs = self
+
+    def start(self) -> None:
+        """Take the t=0 baseline sample and begin the periodic schedule."""
+        if self._started:
+            return
+        self._started = True
+        self.sample()
+        self._timer = self._cluster.scheduler.call_after(
+            self.interval, self._on_sample_timer)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_sample_timer(self) -> None:
+        self._timer = None
+        self.sample()
+        self._timer = self._cluster.scheduler.call_after(
+            self.interval, self._on_sample_timer)
+
+    # ------------------------------------------------------------------
+    # event hooks (engines call these; ``full`` mode only)
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: ObsEvent) -> None:
+        if len(self.events) >= MAX_EVENTS:
+            self.events_dropped += 1
+            return
+        self.events.append(event)
+
+    def srp_rotation(self, node_id: int, rotation: float) -> None:
+        """One token rotation completed at ``node_id`` (full mode)."""
+        self.registry.histogram(
+            "totem_token_rotation_seconds", labels={"node": node_id},
+            help="Interval between successive token acceptances",
+        ).observe(rotation)
+
+    def srp_token_loss(self, node_id: int, state: str) -> None:
+        """The token-loss timeout fired: membership protocol starting."""
+        self.registry.counter(
+            "totem_token_loss_total", labels={"node": node_id},
+            help="Token-loss timeouts (membership escalations)").inc()
+        self._emit(ObsEvent(time=self._cluster.now, kind="token-loss",
+                            node=node_id, detail=f"in state {state}"))
+
+    def engine_token_timeout(self, node_id: int, kind: str) -> None:
+        """An RRP token timer expired (A4 / P3 progress path)."""
+        self.registry.counter(
+            "totem_token_timeouts_total",
+            labels={"node": node_id, "kind": kind},
+            help="RRP token-timer expiries by timer kind").inc()
+        self._emit(ObsEvent(time=self._cluster.now, kind="token-timeout",
+                            node=node_id, detail=kind))
+
+    def record_fault_injection(self, network: int, label: str) -> None:
+        """A scripted :class:`FaultPlan` transition just applied."""
+        self._emit(ObsEvent(time=self._cluster.now, kind="fault-injected",
+                            network=network, detail=label))
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def sample(self) -> Dict[str, Any]:
+        """Read every stats structure, derive windowed rates, fold health."""
+        cluster = self._cluster
+        now = cluster.now
+        window = now - self._prev_time
+        registry = self.registry
+
+        # ----- per-network -----
+        lans: List[Dict[str, Any]] = []
+        loss_fraction: List[float] = []
+        for i, lan in enumerate(cluster.lans):
+            snap = snapshot_lan(lan, now)
+            prev = self._prev_lan[i]
+            offered = snap["frames_offered"] - prev["frames_offered"]
+            lost = snap["frames_lost"] - prev["frames_lost"]
+            busy = snap["busy_time"] - prev["busy_time"]
+            snap["window_loss_fraction"] = (lost / offered) if offered else 0.0
+            snap["window_utilization"] = (
+                min(1.0, busy / window) if window > 0 else 0.0)
+            loss_fraction.append(snap["window_loss_fraction"])
+            self._prev_lan[i] = {
+                "frames_offered": snap["frames_offered"],
+                "frames_lost": snap["frames_lost"],
+                "busy_time": snap["busy_time"],
+            }
+            lans.append(snap)
+            labels = {"network": i}
+            registry.counter("totem_lan_frames_sent_total", labels,
+                             help="Frames transmitted on the medium"
+                             ).set_total(snap["frames_sent"])
+            registry.counter("totem_lan_frames_lost_total", labels,
+                             help="Frames lost on the medium"
+                             ).set_total(snap["frames_lost"])
+            registry.counter("totem_lan_wire_bytes_total", labels,
+                             help="Bytes on the wire including overhead"
+                             ).set_total(snap["wire_bytes"])
+            registry.gauge("totem_lan_utilization", labels,
+                           help="Medium utilization over the last window"
+                           ).set(snap["window_utilization"])
+
+        # ----- per-node -----
+        num_nodes = max(1, len(cluster.nodes))
+        problem = [0.0] * self.num_networks
+        skew = [0.0] * self.num_networks
+        fault_votes = [0] * self.num_networks
+        nodes: Dict[str, Dict[str, Any]] = {}
+        for node_id in sorted(cluster.nodes):
+            node = cluster.nodes[node_id]
+            snap = snapshot_node(node, now)
+            prev = self._prev_rotation.get(node_id)
+            if prev is None:
+                prev = {"total": 0.0, "count": 0}
+            d_total = snap["rotation_time_total"] - prev["total"]
+            d_count = snap["rotation_count"] - prev["count"]
+            snap["window_rotation_mean"] = (
+                d_total / d_count if d_count > 0 else 0.0)
+            self._prev_rotation[node_id] = {
+                "total": snap["rotation_time_total"],
+                "count": snap["rotation_count"],
+            }
+            pressures = monitor_pressures(node, self.num_networks)
+            snap["monitor_problem"] = pressures["problem"]
+            snap["monitor_skew"] = pressures["skew"]
+            for i in range(self.num_networks):
+                if pressures["problem"][i] > problem[i]:
+                    problem[i] = pressures["problem"][i]
+                if pressures["skew"][i] > skew[i]:
+                    skew[i] = pressures["skew"][i]
+            for i in snap["faulty_networks"]:
+                fault_votes[i] += 1
+            nodes[str(node_id)] = snap
+            labels = {"node": node_id}
+            registry.counter("totem_msgs_delivered_total", labels,
+                             help="Application messages delivered in order"
+                             ).mirror(snap["msgs_delivered"])
+            registry.counter("totem_tokens_accepted_total", labels,
+                             help="Regular tokens accepted by the SRP"
+                             ).mirror(snap["tokens_accepted"])
+            registry.counter("totem_retransmissions_served_total", labels,
+                             help="Retransmission requests served"
+                             ).mirror(snap["retransmissions_served"])
+            registry.counter("totem_token_timer_expiries_total", labels,
+                             help="RRP token-timer expiries"
+                             ).mirror(snap["token_timer_expiries"])
+            registry.counter("totem_membership_changes_total", labels,
+                             help="Regular configuration installations"
+                             ).mirror(snap["membership_changes"])
+            registry.gauge("totem_send_queue_depth", labels,
+                           help="Messages waiting for the token"
+                           ).set(snap["send_queue_depth"])
+            registry.gauge("totem_cpu_utilization", labels,
+                           help="Cumulative CPU utilization"
+                           ).set(snap["cpu_utilization"])
+            registry.gauge("totem_window_rotation_seconds", labels,
+                           help="Mean token rotation over the last window"
+                           ).set(snap["window_rotation_mean"])
+
+        # ----- health fold -----
+        inputs = [
+            HealthInput(problem_pressure=problem[i], skew_pressure=skew[i],
+                        loss_fraction=loss_fraction[i],
+                        fault_fraction=fault_votes[i] / num_nodes)
+            for i in range(self.num_networks)
+        ]
+        before = len(self.health.transitions)
+        health_rows = [
+            {"network": h.network, "score": round(h.score, 6),
+             "state": h.state}
+            for h in self.health.update(now, inputs)
+        ]
+        for transition in self.health.transitions[before:]:
+            self._emit(ObsEvent(
+                time=transition.time, kind="health-transition",
+                network=transition.network,
+                detail=f"{transition.old_state} -> {transition.new_state} "
+                       f"(score {transition.score:.2f})"))
+        for row in health_rows:
+            labels = {"network": row["network"]}
+            registry.gauge("totem_ring_health_score", labels,
+                           help="Folded per-network health score [0, 1]"
+                           ).set(row["score"])
+            registry.gauge("totem_monitor_skew_pressure", labels,
+                           help="Worst recv-count lag / threshold"
+                           ).set(skew[row["network"]])
+            registry.gauge("totem_problem_pressure", labels,
+                           help="Worst problem counter / threshold"
+                           ).set(problem[row["network"]])
+
+        sched = snapshot_scheduler(cluster.scheduler)
+        registry.counter("sim_events_processed_total",
+                         help="Simulator events fired"
+                         ).set_total(sched["events_processed"])
+        registry.gauge("sim_pending_events",
+                       help="Scheduler heap entries (incl. tombstones)"
+                       ).set(sched["pending"])
+
+        row = {
+            "t": now,
+            "nodes": nodes,
+            "lans": lans,
+            "health": health_rows,
+            "scheduler": sched,
+        }
+        self.samples.append(row)
+        self._prev_time = now
+        return row

@@ -171,6 +171,15 @@ class EventScheduler:
         """Number of heap entries (including tombstoned cancellations)."""
         return len(self._heap)
 
+    def metrics(self) -> dict:
+        """Simulator-core health counters (for :mod:`repro.obs`)."""
+        return {
+            "events_processed": self._events_processed,
+            "pending": len(self._heap),
+            "dead_entries": self._dead,
+            "compactions": self.compactions,
+        }
+
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if drained."""
         self._drop_cancelled()
@@ -223,6 +232,11 @@ class EventScheduler:
                 # timer.
                 entry[_CALLBACK] = None
                 if when != clock._now:
+                    # Flush the batched event count on every clock advance so
+                    # observers sampling mid-run (repro.obs) read an accurate
+                    # monotone value; the same-timestamp fast path stays lean.
+                    self._events_processed += events
+                    events = 0
                     clock.advance_to(when)
                 callback(*entry[_ARGS])
                 events += 1

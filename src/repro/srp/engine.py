@@ -142,6 +142,9 @@ class TotemSrp:
         self.trace = trace or (lambda event, detail="": None)
         #: Optional :class:`repro.check.NodeProbe` observing protocol events.
         self.probe = None
+        #: Optional :class:`repro.obs.ClusterObservability` hook (full mode
+        #: only; sampled mode reads :attr:`stats` periodically instead).
+        self.obs = None
 
         self.state = SrpState.GATHER
         self.ring_id = RingId(seq=0, representative=node_id)
@@ -256,6 +259,11 @@ class TotemSrp:
         return True
 
     @property
+    def send_queue_depth(self) -> int:
+        """Messages waiting for the token (the obs layer samples this)."""
+        return len(self.send_queue)
+
+    @property
     def my_aru(self) -> SeqNum:
         """All-received-up-to on the current ring (used by passive RRP)."""
         return self.recv_buffer.my_aru
@@ -343,6 +351,8 @@ class TotemSrp:
             self.stats.rotation_count += 1
             if rotation > self.stats.rotation_time_max:
                 self.stats.rotation_time_max = rotation
+            if self.obs is not None:
+                self.obs.srp_rotation(self.node_id, rotation)
         self._last_token_accept_time = now
         self._cancel_token_retrans_timer()
         self._cancel_token_loss_timer()
@@ -654,6 +664,8 @@ class TotemSrp:
     def _on_token_loss(self) -> None:
         self._token_loss_timer = None
         self.stats.token_loss_events += 1
+        if self.obs is not None:
+            self.obs.srp_token_loss(self.node_id, self.state.value)
         self.trace("token-loss",
                    f"no token for {self.config.token_loss_timeout}s "
                    f"in state {self.state.value}")

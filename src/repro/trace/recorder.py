@@ -26,21 +26,45 @@ class TraceEvent:
 
 
 class Tracer:
-    """A bounded buffer of :class:`TraceEvent` for one cluster."""
+    """A bounded buffer of :class:`TraceEvent` for one cluster.
+
+    Accounting invariant (checked by the unit tests): every call to
+    :meth:`emit` lands in exactly one bucket —
+
+    * recorded and still buffered (``len(tracer)``),
+    * recorded then evicted by the capacity bound (``dropped``), or
+    * suppressed because the tracer was disabled (``suppressed``) —
+
+    so ``emitted == len(tracer) + dropped`` always holds.
+    """
 
     def __init__(self, now_fn: Callable[[], float],
                  capacity: int = 50_000) -> None:
+        if capacity < 1:
+            raise ValueError("Tracer capacity must be >= 1")
         self._now_fn = now_fn
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events recorded ever (buffered + later evicted), excluding
+        #: suppressed ones.
+        self.emitted = 0
+        #: Events evicted from the buffer by the capacity bound.
         self.dropped = 0
+        #: Events discarded because ``enabled`` was False.
+        self.suppressed = 0
         self.enabled = True
+
+    @property
+    def capacity(self) -> int:
+        return self._events.maxlen
 
     def emit(self, node: NodeId, category: str, event: str,
              detail: str = "") -> None:
         if not self.enabled:
+            self.suppressed += 1
             return
         if len(self._events) == self._events.maxlen:
             self.dropped += 1
+        self.emitted += 1
         self._events.append(TraceEvent(
             time=self._now_fn(), node=node, category=category,
             event=event, detail=detail))
@@ -70,6 +94,11 @@ class Tracer:
 
     def tail(self, count: int = 50) -> List[TraceEvent]:
         return list(self._events)[-count:]
+
+    def clear(self) -> None:
+        """Forget buffered events; totals (`emitted` etc.) keep counting."""
+        self.dropped += len(self._events)
+        self._events.clear()
 
     def format(self, count: int = 50) -> str:
         lines = [str(e) for e in self.tail(count)]

@@ -1,0 +1,216 @@
+"""End-to-end tests for the repro.obs telemetry subsystem."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.cluster import SimCluster
+from repro.bench.runner import build_config
+from repro.bench.workload import SaturatingWorkload
+from repro.errors import ConfigError
+from repro.net.faults import FaultPlan
+from repro.obs import (
+    build_run_document,
+    render_report,
+    samples_to_jsonl,
+)
+from repro.obs.cli import main as obs_main
+from repro.types import ReplicationStyle
+
+
+def make_obs_cluster(mode: str, seed: int = 7, interval: float = 0.01,
+                     style: ReplicationStyle = ReplicationStyle.ACTIVE,
+                     num_nodes: int = 4) -> SimCluster:
+    config = build_config(style, num_nodes, seed=seed)
+    config = dataclasses.replace(config, obs=mode, obs_interval=interval)
+    return SimCluster(config)
+
+
+def run_fig6_with_fault(mode: str, seed: int = 7,
+                        duration: float = 0.5) -> SimCluster:
+    cluster = make_obs_cluster(mode, seed=seed)
+    cluster.apply_fault_plan(FaultPlan().fail_network(at=0.2, network=0))
+    cluster.start()
+    workload = SaturatingWorkload(cluster, 700)
+    workload.start()
+    cluster.run_for(duration)
+    workload.stop()
+    return cluster
+
+
+class TestModes:
+    def test_off_constructs_nothing(self):
+        cluster = make_obs_cluster("off")
+        assert cluster.obs is None
+        for node in cluster.nodes.values():
+            assert node.srp.obs is None
+            assert node.rrp.obs is None
+
+    def test_off_and_sampled_trajectories_identical(self):
+        """Sampling is read-only: the protocol outcome must not change."""
+        outcomes = []
+        for mode in ("off", "sampled"):
+            cluster = make_obs_cluster(mode, seed=3)
+            cluster.start()
+            for i in range(60):
+                cluster.nodes[1 + i % 4].submit(b"m" * 200)
+                cluster.run_for(0.002)
+            cluster.run_for(0.1)
+            outcomes.append([
+                (m.sender, m.seq, m.payload)
+                for m in cluster.nodes[1].delivered])
+        assert outcomes[0] == outcomes[1]
+        assert len(outcomes[0]) == 60
+
+    def test_sampled_mode_does_not_attach_hooks(self):
+        cluster = make_obs_cluster("sampled")
+        cluster.start()
+        cluster.run_for(0.1)
+        assert cluster.obs is not None
+        assert all(n.srp.obs is None for n in cluster.nodes.values())
+        # Periodic samples accumulate (t=0 baseline + ~10 ticks; the last
+        # tick may fall just past the horizon from float accumulation).
+        assert len(cluster.obs.samples) in (10, 11)
+        assert cluster.obs.registry.get("totem_token_rotation_seconds",
+                                        {"node": 1}) is None
+
+    def test_full_mode_records_rotation_histogram(self):
+        cluster = make_obs_cluster("full")
+        cluster.start()
+        cluster.run_for(0.2)
+        hist = cluster.obs.registry.get("totem_token_rotation_seconds",
+                                        {"node": 1})
+        assert hist is not None
+        assert hist.count > 10
+        assert 0.0 < hist.mean < 0.1
+
+
+class TestSampling:
+    def test_sample_rows_shape(self):
+        cluster = run_fig6_with_fault("full")
+        rows = cluster.obs.samples
+        assert len(rows) in (50, 51)  # t=0 baseline + ~50 ticks over 0.5s
+        row = rows[-1]
+        assert set(row) == {"t", "nodes", "lans", "health", "scheduler"}
+        assert sorted(row["nodes"]) == ["1", "2", "3", "4"]
+        assert [lan["index"] for lan in row["lans"]] == [0, 1]
+        snap = row["nodes"]["1"]
+        assert snap["msgs_delivered"] > 0
+        assert "window_rotation_mean" in snap
+        assert len(snap["monitor_problem"]) == 2
+
+    def test_fault_drives_health_to_failed(self):
+        cluster = run_fig6_with_fault("full")
+        obs = cluster.obs
+        assert obs.health.state(0) == "failed"
+        assert obs.health.state(1) == "healthy"
+        kinds = {e.kind for e in obs.events}
+        assert "fault-injected" in kinds
+        assert "health-transition" in kinds
+
+    def test_scheduler_counters_progress(self):
+        cluster = run_fig6_with_fault("sampled")
+        processed = [r["scheduler"]["events_processed"]
+                     for r in cluster.obs.samples]
+        assert processed == sorted(processed)
+        assert processed[-1] > 1000
+
+    def test_restart_reattaches_hooks(self):
+        cluster = make_obs_cluster("full")
+        cluster.start()
+        cluster.run_for(0.05)
+        cluster.crash_node(2)
+        cluster.run_for(0.3)
+        fresh = cluster.restart_node(2)
+        assert fresh.srp.obs is cluster.obs
+        cluster.run_for(0.3)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_jsonl(self):
+        first = run_fig6_with_fault("full", seed=11)
+        second = run_fig6_with_fault("full", seed=11)
+        assert (samples_to_jsonl(first.obs.samples)
+                == samples_to_jsonl(second.obs.samples))
+        doc_a = build_run_document(first)
+        doc_b = build_run_document(second)
+        assert (json.dumps(doc_a, sort_keys=True)
+                == json.dumps(doc_b, sort_keys=True))
+
+    def test_different_seed_differs_under_random_loss(self):
+        """The seed only matters once randomness is consumed (loss model);
+        then it must show up in the telemetry."""
+        def run(seed):
+            cluster = make_obs_cluster("full", seed=seed)
+            cluster.apply_fault_plan(
+                FaultPlan().set_loss(at=0.0, network=1, rate=0.05))
+            cluster.start()
+            workload = SaturatingWorkload(cluster, 700)
+            workload.start()
+            cluster.run_for(0.3)
+            workload.stop()
+            return samples_to_jsonl(cluster.obs.samples)
+
+        assert run(11) != run(12)
+        assert run(11) == run(11)
+
+
+class TestRunDocumentAndReport:
+    def test_document_requires_obs(self):
+        cluster = make_obs_cluster("off")
+        cluster.start()
+        cluster.run_for(0.05)
+        with pytest.raises(ConfigError):
+            build_run_document(cluster)
+
+    def test_document_contents(self):
+        cluster = run_fig6_with_fault("full")
+        document = build_run_document(cluster, meta={"title": "t"})
+        assert document["schema"] == 1
+        assert document["config"]["replication"] == "active"
+        assert document["summary"]["total_delivered"] > 0
+        kinds = {e["kind"] for e in document["events"]}
+        assert "fault-injected" in kinds
+        assert "fault-report:network_failed" in kinds
+        assert any("total network failure" in d
+                   for d in document["diagnoses"])
+        times = [e["time"] for e in document["events"]]
+        assert times == sorted(times)
+
+    def test_report_renders_self_contained_html(self):
+        cluster = run_fig6_with_fault("full")
+        html_text = render_report(build_run_document(cluster))
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text
+        assert "Token rotation" in html_text
+        assert "Ring health" in html_text
+        assert "fault-injected" in html_text
+        # Self-contained: no scripts, no fetched assets (the only URL-like
+        # string is the SVG xmlns namespace identifier).
+        assert "<script" not in html_text
+        assert "src=" not in html_text
+        assert "<link" not in html_text
+
+
+class TestCli:
+    def test_record_and_report_roundtrip(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        jsonl_path = tmp_path / "run.jsonl"
+        prom_path = tmp_path / "run.prom"
+        assert obs_main(["record", "--quick", "--out", str(run_path),
+                         "--jsonl", str(jsonl_path),
+                         "--prom", str(prom_path)]) == 0
+        assert run_path.exists()
+        assert len(jsonl_path.read_text().splitlines()) > 10
+        assert "# TYPE totem_token_rotation_seconds histogram" in \
+            prom_path.read_text()
+        report_path = tmp_path / "report.html"
+        assert obs_main(["report", str(run_path),
+                         "--out", str(report_path)]) == 0
+        text = report_path.read_text()
+        assert "<svg" in text and "Ring health" in text
+        out = capsys.readouterr().out
+        assert "wrote run document" in out

@@ -112,10 +112,22 @@ class TestFormatting:
 
 
 class TestEndToEndIntegration:
-    def test_diagnosis_of_simulated_total_failure(self):
+    """Each of the four hypotheses, inferred from a real simulated fault.
+
+    The unit tests above feed hand-written reports; these run the actual
+    protocol against a scripted physical fault and check the reports it
+    emits diagnose back to that fault.
+    """
+
+    @staticmethod
+    def _conftest():
         import sys, os
         sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
-        from conftest import make_cluster
+        import conftest
+        return conftest
+
+    def test_diagnosis_of_simulated_total_failure(self):
+        make_cluster = self._conftest().make_cluster
         from repro.net.faults import FaultPlan
         from repro.types import ReplicationStyle
 
@@ -128,3 +140,78 @@ class TestEndToEndIntegration:
         assert len(diagnoses) == 1
         assert diagnoses[0].hypothesis is FaultHypothesis.TOTAL_NETWORK_FAILURE
         assert diagnoses[0].network == 1
+
+    def test_diagnosis_of_simulated_receive_fault(self):
+        """Dead RX path at one node, §3 propagation does the rest.
+
+        The signature needs the victim to starve via its *token* monitor
+        (citing no origin) while its own send stream, rerouted after it
+        marks the network, makes at least one peer cite "messages from
+        <victim>" — hence the victim-heavy workload.
+        """
+        make_cluster = self._conftest().make_cluster
+        from repro.net.faults import FaultPlan
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.apply_fault_plan(
+            FaultPlan().sever_recv(at=0.1, network=0, node=2))
+        cluster.start()
+        for _ in range(700):
+            cluster.nodes[2].submit(b"v" * 300)
+            cluster.run_for(0.002)
+        cluster.run_for(0.5)
+        reports = cluster.all_fault_reports()
+        assert reports[0].node == 2          # the victim knows first
+        assert reports[0].network == 0
+        diagnoses = cluster.diagnose_faults()
+        assert len(diagnoses) == 1
+        assert diagnoses[0].hypothesis is FaultHypothesis.NODE_RECEIVE_FAULT
+        assert diagnoses[0].node == 2
+        assert diagnoses[0].network == 0
+
+    def test_diagnosis_of_simulated_send_fault(self):
+        """Dead TX path: peers stop hearing the victim, the victim itself
+        receives fine — so within a tight window it never reports."""
+        make_cluster = self._conftest().make_cluster
+        from repro.bench.workload import SaturatingWorkload
+        from repro.net.faults import FaultPlan
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.apply_fault_plan(
+            FaultPlan().sever_send(at=0.1, network=0, node=3))
+        cluster.start()
+        workload = SaturatingWorkload(cluster, 512)
+        workload.start()
+        cluster.run_for(1.0)
+        workload.stop()
+        # The tight window isolates the initial alarm burst from the §3
+        # propagation echo (the victim later starves for its peers'
+        # messages once *they* abandon the network).
+        diagnoses = diagnose(cluster.all_fault_reports(),
+                             sorted(cluster.nodes), window=0.05)
+        assert diagnoses[0].hypothesis is FaultHypothesis.NODE_SEND_FAULT
+        assert diagnoses[0].node == 3
+        assert diagnoses[0].network == 0
+        assert diagnoses[0].confidence == 1.0
+
+    def test_diagnosis_of_simulated_sporadic_degradation(self):
+        """An alarm only one node raised (run cut before propagation)."""
+        make_cluster = self._conftest().make_cluster
+        from repro.net.faults import FaultPlan
+        from repro.types import ReplicationStyle
+
+        cluster = make_cluster(ReplicationStyle.PASSIVE)
+        cluster.apply_fault_plan(
+            FaultPlan().sever_recv(at=0.1, network=0, node=2))
+        cluster.start()
+        cluster.run_until_condition(
+            lambda: len(cluster.all_fault_reports()) >= 1, timeout=5.0)
+        reports = cluster.all_fault_reports()
+        assert {r.node for r in reports} == {2}
+        diagnoses = diagnose(reports, sorted(cluster.nodes))
+        assert len(diagnoses) == 1
+        assert diagnoses[0].hypothesis is FaultHypothesis.SPORADIC_DEGRADATION
+        assert diagnoses[0].network == 0
+        assert diagnoses[0].confidence == pytest.approx(1 / 4)

@@ -1,0 +1,105 @@
+"""Unit tests for the ring-health hysteresis model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.health import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    HealthInput,
+    RingHealthModel,
+)
+
+CLEAN = HealthInput()
+DEAD = HealthInput(fault_fraction=1.0)
+
+
+class TestHealthInput:
+    def test_clean_window_targets_one(self):
+        assert CLEAN.target() == 1.0
+
+    def test_full_fault_targets_zero(self):
+        assert DEAD.target() == 0.0
+
+    def test_terms_clamped(self):
+        wild = HealthInput(problem_pressure=50.0, skew_pressure=-3.0,
+                           loss_fraction=2.0, fault_fraction=0.0)
+        assert 0.0 <= wild.target() <= 1.0
+
+    def test_partial_loss_is_graded(self):
+        mild = HealthInput(loss_fraction=0.1)
+        assert 0.0 < mild.target() < 1.0
+
+
+class TestValidation:
+    def test_needs_a_network(self):
+        with pytest.raises(ConfigError):
+            RingHealthModel(0)
+
+    def test_gain_bounds(self):
+        with pytest.raises(ConfigError):
+            RingHealthModel(1, gain_down=0.0)
+        with pytest.raises(ConfigError):
+            RingHealthModel(1, gain_up=1.5)
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ConfigError):
+            RingHealthModel(1, failed_below=0.5, recovered_above=0.4)
+
+    def test_update_arity_checked(self):
+        model = RingHealthModel(2)
+        with pytest.raises(ConfigError):
+            model.update(0.0, [CLEAN])
+
+
+class TestHysteresis:
+    def test_total_failure_fails_within_a_few_samples(self):
+        model = RingHealthModel(1)
+        for step in range(6):
+            model.update(step * 0.01, [DEAD])
+        assert model.state(0) == FAILED
+        assert model.score(0) < 0.25
+
+    def test_recovery_is_slow_and_staged(self):
+        model = RingHealthModel(1)
+        for step in range(6):
+            model.update(step * 0.01, [DEAD])
+        assert model.state(0) == FAILED
+        # One clean window must not flip the state back.
+        model.update(0.06, [CLEAN])
+        assert model.state(0) == FAILED
+        # Sustained clean windows recover through DEGRADED to HEALTHY.
+        states = set()
+        for step in range(80):
+            model.update(0.07 + step * 0.01, [CLEAN])
+            states.add(model.state(0))
+        assert model.state(0) == HEALTHY
+        assert DEGRADED in states  # passed through the intermediate stage
+
+    def test_single_lossy_window_barely_moves_the_score(self):
+        model = RingHealthModel(1)
+        model.update(0.0, [HealthInput(loss_fraction=0.3)])
+        assert model.score(0) > 0.6
+        assert model.state(0) == HEALTHY
+
+    def test_transitions_recorded_in_order(self):
+        model = RingHealthModel(1)
+        for step in range(200):
+            window = DEAD if step < 10 else CLEAN
+            model.update(step * 0.01, [window])
+        kinds = [(t.old_state, t.new_state) for t in model.transitions]
+        assert kinds == [(HEALTHY, DEGRADED), (DEGRADED, FAILED),
+                         (FAILED, DEGRADED), (DEGRADED, HEALTHY)]
+        times = [t.time for t in model.transitions]
+        assert times == sorted(times)
+
+    def test_networks_independent(self):
+        model = RingHealthModel(2)
+        for step in range(6):
+            model.update(step * 0.01, [DEAD, CLEAN])
+        assert model.state(0) == FAILED
+        assert model.state(1) == HEALTHY
+        assert model.scores()[1] == 1.0

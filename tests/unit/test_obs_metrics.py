@@ -1,0 +1,162 @@
+"""Unit tests for the repro.obs metric registry and exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricRegistry,
+    normalize_labels,
+)
+from repro.obs.export import prometheus_text, samples_to_jsonl
+
+
+class TestLabels:
+    def test_normalized_sorted_and_stringified(self):
+        assert normalize_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_none_is_empty(self):
+        assert normalize_labels(None) == ()
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_set_total_mirrors_monotone_source(self):
+        c = Counter("x_total")
+        c.set_total(10)
+        c.set_total(10)
+        c.set_total(12)
+        assert c.value == 12
+        with pytest.raises(ValueError):
+            c.set_total(11)
+
+    def test_mirror_stays_monotone_across_resets(self):
+        c = Counter("x_total")
+        c.mirror(10)
+        c.mirror(15)
+        assert c.value == 15
+        c.mirror(3)  # source restarted and counted 3 since
+        assert c.value == 18
+        c.mirror(4)
+        assert c.value == 19
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram("lat", bounds=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 2.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.counts == [1, 2, 1, 1]  # last bucket = overflow
+        assert h.mean == pytest.approx((0.005 + 0.05 + 0.05 + 0.5 + 2.0) / 5)
+        assert h.max == 2.0
+
+    def test_quantiles_monotone(self):
+        h = Histogram("lat", bounds=LATENCY_BUCKETS)
+        for i in range(1, 101):
+            h.observe(i / 1000.0)  # 1ms .. 100ms
+        assert h.quantile(0.5) <= h.quantile(0.99)
+        assert 0.0 < h.quantile(0.5) < 0.1
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigError):
+            Histogram("lat", bounds=(0.1, 0.1))
+
+    def test_snapshot_keys(self):
+        h = Histogram("lat", bounds=(1.0,))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "mean", "max", "p50", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        r = MetricRegistry()
+        a = r.counter("x_total", labels={"node": 1})
+        b = r.counter("x_total", labels={"node": 1})
+        c = r.counter("x_total", labels={"node": 2})
+        assert a is b
+        assert a is not c
+
+    def test_one_name_one_kind(self):
+        r = MetricRegistry()
+        r.counter("x_total")
+        with pytest.raises(ConfigError):
+            r.gauge("x_total")
+
+    def test_collect_sorted(self):
+        r = MetricRegistry()
+        r.gauge("b")
+        r.counter("a_total", labels={"node": 2})
+        r.counter("a_total", labels={"node": 1})
+        names = [(m.name, m.labels) for m in r.collect()]
+        assert names == sorted(names)
+
+    def test_snapshot_flat_keys(self):
+        r = MetricRegistry()
+        r.counter("a_total", labels={"node": 1}).inc(3)
+        r.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap['a_total{node="1"}'] == 3
+        assert snap["h:count"] == 1
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        r = MetricRegistry()
+        r.counter("x_total", labels={"node": 1}, help="things").inc(2)
+        r.gauge("depth").set(1.5)
+        text = prometheus_text(r)
+        assert "# HELP x_total things" in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{node="1"} 2' in text
+        assert "depth 1.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        r = MetricRegistry()
+        h = r.histogram("lat", bounds=(0.1, 1.0), help="latency")
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = prometheus_text(r)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+
+class TestJsonl:
+    def test_one_compact_sorted_line_per_row(self):
+        rows = [{"b": 1, "a": {"z": 2, "y": 3}}, {"t": 0.5}]
+        text = samples_to_jsonl(rows)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0] == '{"a":{"y":3,"z":2},"b":1}'
+        assert json.loads(lines[1]) == {"t": 0.5}

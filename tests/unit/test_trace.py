@@ -38,11 +38,52 @@ class TestTracer:
         assert tracer.dropped == 15
         assert tracer.events()[0].event == "e15"
 
+    def test_accounting_invariant(self):
+        """emitted == buffered + dropped, across eviction and disabling."""
+        tracer = Tracer(lambda: 0.0, capacity=4)
+        for i in range(3):
+            tracer.emit(1, "c", f"e{i}")
+        assert (tracer.emitted, tracer.dropped, len(tracer)) == (3, 0, 3)
+        for i in range(7):  # overflow: 6 evictions
+            tracer.emit(1, "c", f"f{i}")
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        assert tracer.emitted == len(tracer) + tracer.dropped
+        tracer.enabled = False
+        tracer.emit(1, "c", "ignored")
+        tracer.enabled = True
+        tracer.emit(1, "c", "counted")
+        assert tracer.suppressed == 1
+        assert tracer.emitted == 11
+        assert tracer.emitted == len(tracer) + tracer.dropped
+
+    def test_capacity_one_and_validation(self):
+        tracer = Tracer(lambda: 0.0, capacity=1)
+        assert tracer.capacity == 1
+        tracer.emit(1, "c", "a")
+        tracer.emit(1, "c", "b")
+        assert [e.event for e in tracer.events()] == ["b"]
+        assert tracer.dropped == 1
+        assert tracer.emitted == 2
+        with pytest.raises(ValueError):
+            Tracer(lambda: 0.0, capacity=0)
+
+    def test_clear_counts_as_dropped(self):
+        tracer = Tracer(lambda: 0.0, capacity=10)
+        for i in range(5):
+            tracer.emit(1, "c", f"e{i}")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 5
+        assert tracer.emitted == len(tracer) + tracer.dropped
+
     def test_disabled(self):
         tracer = Tracer(lambda: 0.0)
         tracer.enabled = False
         tracer.emit(1, "c", "e")
         assert len(tracer) == 0
+        assert tracer.suppressed == 1
+        assert tracer.emitted == 0
 
     def test_bind(self):
         tracer = Tracer(lambda: 0.0)
