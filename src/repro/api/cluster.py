@@ -146,7 +146,7 @@ class SimCluster:
         for lan in self.lans:
             lan.faults.heal()
 
-    def restart_node(self, node_id: NodeId) -> TotemNode:
+    def restart_node(self, node_id: NodeId, start: bool = True) -> TotemNode:
         """Boot a fresh incarnation of a crashed node.
 
         The old engine object is abandoned (its timers keep firing into a
@@ -154,6 +154,10 @@ class SimCluster:
         a brand-new :class:`TotemNode` with empty state is attached to the
         networks.  It starts as a singleton and rejoins through the
         membership protocol — the realistic model of a process restart.
+
+        ``start=False`` returns the attached-but-not-started incarnation so
+        a caller can wire application callbacks (e.g. a replicated state
+        machine) before calling ``fresh.start(None)`` itself.
         """
         old = self.nodes[node_id]
         old.stop()
@@ -164,6 +168,11 @@ class SimCluster:
         # and transmit nothing; re-attaching below starts a new generation.
         fresh = TotemNode(node_id, self.config.totem, self.scheduler,
                           self.lans, self.config.lan, tracer=self.tracer)
+        # Stable storage survives the crash: the fresh incarnation resumes
+        # the ring-seq watermark so its rings never reuse an id the old
+        # incarnation's configurations already consumed (Totem ring ids
+        # must be monotonic for EVS agreement to be meaningful).
+        fresh.srp.resume_ring_seq(old.srp.ring_seq_watermark())
         self.nodes[node_id] = fresh
         if self.checker is not None:
             # Fresh probe for the fresh incarnation; the abandoned
@@ -174,7 +183,8 @@ class SimCluster:
             self.obs.attach_node(fresh)
         self.tracer.emit(node_id, "membership", "restart",
                          "fresh incarnation booted")
-        fresh.start(None)
+        if start:
+            fresh.start(None)
         return fresh
 
     # ----- convenience for tests and benchmarks -----

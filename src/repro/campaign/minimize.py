@@ -1,0 +1,142 @@
+"""Delta-debugging failing scenarios down to a minimal fault timeline.
+
+Classic ddmin (Zeller & Hildebrandt) over the scenario's *fault* events —
+the workload is the experiment's stimulus and is kept intact, so the
+minimized case answers "which injected faults are actually needed to
+break the guarantee?".  Because every candidate run is deterministic, the
+search needs no retries and the result is reproducible: the same failing
+case file always minimizes to the same timeline.
+
+The minimizer finishes with a greedy one-at-a-time elimination pass, so
+the result is 1-minimal: removing any single remaining fault event makes
+the scenario pass again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .runner import run_scenario
+from .scenario import Scenario, TimelineEvent
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one minimization."""
+
+    scenario: Scenario
+    #: Fault-event count before and after.
+    original_events: int
+    minimized_events: int
+    #: Candidate scenario runs spent in the search.
+    runs: int
+
+    def summary(self) -> str:
+        return (f"minimized {self.original_events} -> "
+                f"{self.minimized_events} fault event(s) "
+                f"in {self.runs} run(s)")
+
+
+def default_predicate(scenario: Scenario) -> bool:
+    """Whether the scenario still fails (any conformance violation)."""
+    return not run_scenario(scenario).ok
+
+
+def _rebuild(scenario: Scenario, faults: Sequence[TimelineEvent]) -> Scenario:
+    """The scenario with only ``faults`` kept (workload untouched).
+
+    A partial timeline can orphan a ``restart`` (its ``crash`` was dropped),
+    which the DSL rejects; the candidate is patched by dropping orphaned
+    restarts so ddmin can explore such subsets instead of crashing.
+    """
+    kept = set(faults)
+    events: List[TimelineEvent] = []
+    crashed: set = set()
+    for event in scenario.events:
+        if event.kind not in ("crash", "restart"):
+            if event.kind in ("burst",) or event in kept:
+                events.append(event)
+            continue
+        if event not in kept:
+            if event.kind == "crash":
+                crashed.discard(event.params["node"])
+            continue
+        if event.kind == "crash":
+            crashed.add(event.params["node"])
+            events.append(event)
+        elif event.params["node"] in crashed:
+            crashed.discard(event.params["node"])
+            events.append(event)
+    return scenario.with_events(events, name=f"{scenario.name}::min")
+
+
+def minimize_scenario(
+        scenario: Scenario,
+        predicate: Optional[Callable[[Scenario], bool]] = None,
+        max_runs: int = 200) -> MinimizeResult:
+    """ddmin the fault timeline of a failing scenario.
+
+    ``predicate(candidate) -> bool`` must return True while the candidate
+    still fails; it defaults to "run it and check for violations".
+    Raises ``ValueError`` if the input scenario does not fail at all.
+    """
+    fails = predicate if predicate is not None else default_predicate
+    runs = 0
+
+    def test(faults: Sequence[TimelineEvent]) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return fails(_rebuild(scenario, faults))
+
+    faults: List[TimelineEvent] = list(scenario.fault_events)
+    if not test(faults):
+        raise ValueError(
+            f"scenario {scenario.name!r} does not fail; nothing to minimize")
+    original = len(faults)
+
+    granularity = 2
+    while len(faults) >= 2:
+        chunk = max(1, len(faults) // granularity)
+        subsets = [faults[i:i + chunk] for i in range(0, len(faults), chunk)]
+        reduced = False
+        # Try each subset alone, then each complement.
+        for subset in subsets:
+            if len(subset) < len(faults) and test(subset):
+                faults = list(subset)
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for i in range(len(subsets)):
+                complement = [e for j, s in enumerate(subsets) if j != i
+                              for e in s]
+                if complement and len(complement) < len(faults) \
+                        and test(complement):
+                    faults = complement
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(faults):
+                break
+            granularity = min(len(faults), granularity * 2)
+
+    # Greedy 1-minimality pass: drop any single event that is not needed.
+    i = 0
+    while i < len(faults) and runs < max_runs:
+        candidate = faults[:i] + faults[i + 1:]
+        if candidate and test(candidate):
+            faults = candidate
+        elif not candidate:
+            break
+        else:
+            i += 1
+
+    return MinimizeResult(
+        scenario=_rebuild(scenario, faults),
+        original_events=original,
+        minimized_events=len(faults),
+        runs=runs)

@@ -1,0 +1,371 @@
+"""The fault-campaign scenario DSL.
+
+A :class:`Scenario` is a declarative, JSON-serialisable description of one
+deterministic end-to-end run: a cluster shape (replication style, node and
+network counts, seed) plus a **timeline** of :class:`TimelineEvent` entries
+— workload bursts, network fault injections (the :mod:`repro.net.faults`
+vocabulary), node crash/restart churn and cluster-wide partition/merge
+transitions.  The campaign runner compiles a scenario onto a
+:class:`~repro.api.cluster.SimCluster` and the virtual-time scheduler, so
+every scenario is a pure function of its own fields: same file, same seed,
+same run, byte for byte.
+
+Event kinds
+-----------
+
+Workload::
+
+    burst            node, count, size, gap      submit `count` messages
+
+Network faults (masked by redundancy while at least one network is clean)::
+
+    loss             network, rate               extra i.i.d. frame loss
+    burst_loss       network, p_good_to_bad, p_bad_to_good[, bad_loss]
+    fail_network     network                     total network failure
+    restore_network  network                     clear every fault there
+    sever_send       network, node               node's TX path dies
+    sever_recv       network, node               node's RX path dies
+    sever_pair       network, src, dst           one directed path dies
+
+Node-connectivity faults and churn (redundancy cannot mask these)::
+
+    partition        network, groups             split one network
+    partition_all    groups                      split every network alike
+    heal_all         —                           clear every fault everywhere
+    crash            node                        fail-silent processor crash
+    restart          node                        boot a fresh incarnation
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..types import ReplicationStyle
+
+#: Bump when the case-file layout changes incompatibly.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Default network count per style (the style's minimum).
+STYLE_NETWORKS = {
+    ReplicationStyle.NONE: 1,
+    ReplicationStyle.ACTIVE: 2,
+    ReplicationStyle.PASSIVE: 2,
+    ReplicationStyle.ACTIVE_PASSIVE: 3,
+}
+
+#: kind -> (required params, optional params with defaults)
+EVENT_SPECS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
+    "burst": (("node", "count", "size"), {"gap": 0.001}),
+    "loss": (("network", "rate"), {}),
+    "burst_loss": (("network", "p_good_to_bad", "p_bad_to_good"),
+                   {"bad_loss": 1.0}),
+    "fail_network": (("network",), {}),
+    "restore_network": (("network",), {}),
+    "sever_send": (("network", "node"), {}),
+    "sever_recv": (("network", "node"), {}),
+    "sever_pair": (("network", "src", "dst"), {}),
+    "partition": (("network", "groups"), {}),
+    "partition_all": (("groups",), {}),
+    "heal_all": ((), {}),
+    "crash": (("node",), {}),
+    "restart": (("node",), {}),
+}
+
+WORKLOAD_KINDS = frozenset({"burst"})
+#: Faults a fault-free twin run strips from the timeline.
+FAULT_KINDS = frozenset(EVENT_SPECS) - WORKLOAD_KINDS
+#: Faults redundancy can mask (paper §3): they disturb *networks*, and the
+#: protocol rides them out as long as one network stays clean.
+MASKABLE_KINDS = frozenset({
+    "loss", "burst_loss", "fail_network", "sever_send", "sever_recv",
+    "sever_pair",
+})
+#: Events that clear fault state rather than introduce it.
+RESTORATIVE_KINDS = frozenset({"restore_network", "heal_all"})
+
+
+@dataclass(frozen=True, eq=False)
+class TimelineEvent:
+    """One timeline entry: ``kind`` at virtual time ``at`` with ``params``."""
+
+    at: float
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def _key(self) -> Tuple:
+        return (self.at, self.kind, tuple(sorted(self.params.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimelineEvent):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_SPECS:
+            raise ConfigError(
+                f"unknown timeline event kind {self.kind!r} "
+                f"(known: {', '.join(sorted(EVENT_SPECS))})")
+        if self.at < 0:
+            raise ConfigError(f"{self.kind}: event time must be >= 0")
+        required, optional = EVENT_SPECS[self.kind]
+        params = dict(self.params)
+        for name in required:
+            if name not in params:
+                raise ConfigError(f"{self.kind}: missing parameter {name!r}")
+        unknown = set(params) - set(required) - set(optional)
+        if unknown:
+            raise ConfigError(
+                f"{self.kind}: unknown parameter(s) {sorted(unknown)}")
+        merged = dict(optional)
+        merged.update(params)
+        if "groups" in merged:
+            merged["groups"] = tuple(tuple(g) for g in merged["groups"])
+        # Freeze a normalised copy so events hash/compare structurally.
+        object.__setattr__(self, "params", merged)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_") or name == "params":
+            raise AttributeError(name)
+        try:
+            return self.params[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"at": self.at, "kind": self.kind}
+        for name, value in self.params.items():
+            entry[name] = ([list(g) for g in value]
+                           if name == "groups" else value)
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "TimelineEvent":
+        data = dict(entry)
+        try:
+            at = data.pop("at")
+            kind = data.pop("kind")
+        except KeyError as exc:
+            raise ConfigError(f"timeline event missing {exc.args[0]!r}")
+        return cls(at=float(at), kind=kind, params=data)
+
+    def __str__(self) -> str:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"t={self.at:g} {self.kind}" + (f" {rendered}" if rendered else "")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative fault-campaign case (see module docstring)."""
+
+    name: str
+    style: ReplicationStyle = ReplicationStyle.ACTIVE
+    seed: int = 1
+    num_nodes: int = 4
+    num_networks: Optional[int] = None
+    #: Virtual seconds of scripted timeline (events must fall inside).
+    duration: float = 1.0
+    #: Extra quiet virtual seconds after ``duration`` before the oracles
+    #: read the logs — lets retransmissions drain and memberships settle.
+    settle: float = 0.4
+    #: Attach a ReplicatedStateMachine to every node (SMR convergence oracle).
+    smr: bool = True
+    #: Invariant-checker mode for the run ("off" keeps the campaign an
+    #: application-level, black-box harness; "observe" folds protocol
+    #: invariant violations into the conformance report as a bonus oracle).
+    invariants: str = "off"
+    events: Tuple[TimelineEvent, ...] = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.num_networks is None:
+            object.__setattr__(self, "num_networks",
+                               STYLE_NETWORKS[self.style])
+        if self.duration <= 0 or self.settle < 0:
+            raise ConfigError("duration must be > 0 and settle >= 0")
+        if self.num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        if self.invariants not in ("off", "observe"):
+            raise ConfigError("scenario invariants must be 'off' or "
+                              "'observe' (strict would abort the run the "
+                              "oracles are meant to judge)")
+        restartable = set()
+        for event in self.events:
+            self._check_event(event, restartable)
+
+    def _check_event(self, event: TimelineEvent, restartable: set) -> None:
+        if event.at > self.duration:
+            raise ConfigError(
+                f"event '{event}' is past the scenario duration "
+                f"{self.duration}")
+        params = event.params
+        for name in ("network",):
+            if name in params and not 0 <= params[name] < self.num_networks:
+                raise ConfigError(
+                    f"event '{event}' references network {params[name]}, "
+                    f"scenario has {self.num_networks}")
+        for name in ("node", "src", "dst"):
+            if name in params and not 1 <= params[name] <= self.num_nodes:
+                raise ConfigError(
+                    f"event '{event}' references node {params[name]}, "
+                    f"scenario has nodes 1..{self.num_nodes}")
+        if "groups" in params:
+            seen: set = set()
+            for group in params["groups"]:
+                for node in group:
+                    if not 1 <= node <= self.num_nodes:
+                        raise ConfigError(
+                            f"event '{event}' partitions unknown node {node}")
+                    if node in seen:
+                        raise ConfigError(
+                            f"event '{event}' has overlapping groups")
+                    seen.add(node)
+        if event.kind == "burst":
+            if params["count"] < 1 or params["size"] < 0 or params["gap"] < 0:
+                raise ConfigError(f"event '{event}' has a bad burst shape")
+        if event.kind == "crash":
+            restartable.add(params["node"])
+        if event.kind == "restart":
+            if params["node"] not in restartable:
+                raise ConfigError(
+                    f"event '{event}' restarts a node that never crashed "
+                    f"earlier in the timeline")
+            restartable.discard(params["node"])
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_events(self) -> Tuple[TimelineEvent, ...]:
+        return tuple(e for e in self.events if e.kind in FAULT_KINDS)
+
+    @property
+    def workload_events(self) -> Tuple[TimelineEvent, ...]:
+        return tuple(e for e in self.events if e.kind in WORKLOAD_KINDS)
+
+    def within_redundancy_budget(self) -> bool:
+        """Whether redundancy is expected to fully mask this timeline.
+
+        True iff every fault is of a maskable, network-level kind and at
+        least one network is never disturbed (paper §3: the RRP tolerates
+        faults as long as one network can still carry the ring).  Node
+        crashes, restarts and partitions are node/connectivity faults that
+        no amount of network redundancy can hide, so any such event puts
+        the scenario outside the budget and the fault-transparency oracle
+        does not apply.
+        """
+        if self.style is ReplicationStyle.NONE:
+            return not self.fault_events
+        touched = set()
+        for event in self.fault_events:
+            if event.kind in RESTORATIVE_KINDS:
+                continue
+            if event.kind not in MASKABLE_KINDS:
+                return False
+            touched.add(event.params["network"])
+        return len(touched) < self.num_networks
+
+    def fault_free_twin(self) -> "Scenario":
+        """This scenario with every fault stripped (workload preserved)."""
+        return replace(self, name=f"{self.name}::twin",
+                       events=self.workload_events)
+
+    def with_events(self, events: Sequence[TimelineEvent],
+                    name: Optional[str] = None) -> "Scenario":
+        return replace(self, events=tuple(events),
+                       name=self.name if name is None else name)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation — the replayable case-file format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "name": self.name,
+            "style": self.style.value,
+            "seed": self.seed,
+            "num_nodes": self.num_nodes,
+            "num_networks": self.num_networks,
+            "duration": self.duration,
+            "settle": self.settle,
+            "smr": self.smr,
+            "invariants": self.invariants,
+            "notes": self.notes,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
+        if schema != SCENARIO_SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported scenario schema {schema!r} "
+                f"(this build reads {SCENARIO_SCHEMA_VERSION})")
+        try:
+            style = ReplicationStyle(data.get("style", "active"))
+        except ValueError:
+            raise ConfigError(f"unknown replication style {data.get('style')!r}")
+        known = {"schema", "name", "style", "seed", "num_nodes",
+                 "num_networks", "duration", "settle", "smr", "invariants",
+                 "notes", "events"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown scenario field(s) {sorted(unknown)}")
+        if "name" not in data:
+            raise ConfigError("scenario is missing its 'name'")
+        return cls(
+            name=data["name"],
+            style=style,
+            seed=int(data.get("seed", 1)),
+            num_nodes=int(data.get("num_nodes", 4)),
+            num_networks=data.get("num_networks"),
+            duration=float(data.get("duration", 1.0)),
+            settle=float(data.get("settle", 0.4)),
+            smr=bool(data.get("smr", True)),
+            invariants=data.get("invariants", "off"),
+            notes=data.get("notes", ""),
+            events=tuple(TimelineEvent.from_dict(entry)
+                         for entry in data.get("events", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"scenario file is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ConfigError("scenario file must hold one JSON object")
+        return cls.from_dict(data)
+
+
+def load_scenario(path: str) -> Scenario:
+    """Read one scenario case file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Scenario.from_json(handle.read())
+
+
+def save_scenario(scenario: Scenario, path: str) -> None:
+    """Write a scenario as a replayable case file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(scenario.to_json())
+
+
+def ordered_events(scenario: Scenario) -> List[TimelineEvent]:
+    """Timeline in firing order: by time, ties by position in the file.
+
+    The scheduler breaks same-time ties by insertion order, so compiling
+    in this order makes the case file's textual order authoritative.
+    """
+    return sorted(scenario.events, key=lambda e: e.at)

@@ -23,6 +23,19 @@ from .sweep import SWEEP_STYLES, run_sweep
 _STYLE_BY_NAME = {style.value: style for style in SWEEP_STYLES}
 
 
+def _positive(kind, name):
+    def parse(text):
+        try:
+            value = kind(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{name} expects a {kind.__name__}, got {text!r}")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"{name} must be positive")
+        return value
+    return parse
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.styles:
         styles = [_STYLE_BY_NAME[name] for name in args.styles]
@@ -66,15 +79,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sweep = sub.add_parser(
         "sweep", help="run randomized fault-plan sweeps under the checker")
-    sweep.add_argument("--runs", type=int, default=None,
+    sweep.add_argument("--runs", type=_positive(int, "--runs"), default=None,
                        help="cases per style (default 3)")
     sweep.add_argument("--seed", type=int, default=1,
                        help="base seed (case i uses seed+i)")
-    sweep.add_argument("--duration", type=float, default=1.0,
+    sweep.add_argument("--duration", type=_positive(float, "--duration"),
+                       default=1.0,
                        help="virtual seconds per case (default 1.0)")
-    sweep.add_argument("--nodes", type=int, default=4,
+    sweep.add_argument("--nodes", type=_positive(int, "--nodes"), default=4,
                        help="cluster size (default 4)")
-    sweep.add_argument("--messages", type=int, default=120,
+    sweep.add_argument("--messages", type=_positive(int, "--messages"),
+                       default=120,
                        help="application messages submitted per case")
     sweep.add_argument("--styles", nargs="*", choices=sorted(_STYLE_BY_NAME),
                        help="restrict to these styles (default: all three)")

@@ -246,6 +246,20 @@ class TotemSrp:
             self._presence_timer.cancel()
             self._presence_timer = None
 
+    def ring_seq_watermark(self) -> int:
+        """Ring-sequence high-water mark this incarnation has witnessed.
+
+        Totem requires ring ids to be monotonic; a real deployment keeps
+        this value on stable storage so a restarted process never forms a
+        ring whose id collides with one its previous incarnation was part
+        of.  :meth:`SimCluster.restart_node` carries it across incarnations.
+        """
+        return max(self._highest_ring_seq, self.ring_id.seq)
+
+    def resume_ring_seq(self, watermark: int) -> None:
+        """Restore the stable-storage ring-seq watermark after a restart."""
+        self._highest_ring_seq = max(self._highest_ring_seq, int(watermark))
+
     def submit(self, payload: bytes) -> None:
         """Queue an application message for totally ordered broadcast."""
         self.send_queue.enqueue(bytes(payload))
@@ -990,8 +1004,19 @@ class TotemSrp:
             # 1. Messages contiguous in the old ring: agreed order, old config.
             self._deliver_old_prefix()
             # 2. Transitional configuration: the old-ring members who survive.
-            survivors = tuple(n for n in new_members.members
-                              if n in self._old_membership)
+            #    Survival means *continuing from our old ring*, not merely
+            #    sharing a node id with one of its members — a crashed peer
+            #    that restarted joins this ring as a fresh incarnation (its
+            #    commit info names a different old ring) and must appear to
+            #    the application as a newcomer, never as a survivor.
+            commit_info = (self._commit_token.info
+                           if self._commit_token is not None else {})
+            survivors = tuple(
+                n for n in new_members.members
+                if n in self._old_membership
+                and (n == self.node_id
+                     or (n in commit_info
+                         and commit_info[n].old_ring_id == self._old_ring)))
             self.on_config_change(ConfigurationChange(
                 membership=Membership(new_members.ring_id, survivors),
                 transitional=True))

@@ -85,6 +85,57 @@ class TestRestart:
         assert b"still here" in cluster.nodes[1].log.payloads
         cluster.assert_total_order()
 
+    def test_ring_seq_watermark_survives_restart(self):
+        """Stable storage: a fresh incarnation never reuses a ring id.
+
+        Without the watermark, node 1's new incarnation boots at ring seq 0
+        and its first rings collide with ids the cluster's early
+        configurations already consumed — two different configurations
+        would share a RingId, which breaks EVS agreement-per-configuration
+        (caught by the campaign harness, generated seed 103).
+        """
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        cluster.start()
+        cluster.run_for(0.05)
+        watermark = cluster.nodes[1].srp.ring_seq_watermark()
+        assert watermark >= 4
+        cluster.crash_node(1)
+        cluster.run_until_condition(lambda: ring_is(cluster, (2, 3, 4)),
+                                    timeout=5.0)
+        fresh = cluster.restart_node(1)
+        assert fresh.srp.ring_seq_watermark() >= watermark
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        # Every ring the new incarnation forms compares greater than any
+        # ring the old incarnation was part of.
+        assert fresh.srp.ring_id.seq > watermark
+
+    def test_restarted_incarnation_is_not_a_transitional_survivor(self):
+        """EVS: the transitional configuration holds old-ring *survivors*.
+
+        A restarted node shares its node id with an old-ring member but
+        continues from a different ring, so survivors that merge with it
+        must see it leave the transitional configuration (and their SMR
+        lineage) — otherwise the newcomer is never offered state transfer
+        (caught by the campaign harness, generated seed 108).
+        """
+        cluster = make_cluster(ReplicationStyle.ACTIVE)
+        changes = []
+        cluster.nodes[1].set_user_callbacks(
+            on_config_change=lambda change: changes.append(change))
+        cluster.start()
+        cluster.run_for(0.05)
+        cluster.crash_node(4)
+        cluster.restart_node(4)  # rejoin during the same reformation wave
+        cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                    timeout=5.0)
+        transitional = [tuple(c.membership.members) for c in changes
+                        if c.transitional]
+        assert transitional, "merge must deliver a transitional config"
+        assert all(4 not in members for members in transitional), (
+            "restarted incarnation counted as an old-ring survivor: "
+            f"{transitional}")
+
     def test_delivery_continues_through_restart(self):
         cluster = make_cluster(ReplicationStyle.PASSIVE)
         cluster.start()

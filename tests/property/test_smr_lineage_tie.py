@@ -1,0 +1,110 @@
+"""Property test: SMR state transfer on a partition merge with an exact tie.
+
+Split a four-node cluster into two halves of two, let both halves diverge,
+then heal.  On the merge neither lineage holds a majority (2*t == n), so
+``ReplicatedStateMachine._lineage_qualifies`` falls back to the
+deterministic tiebreak: the lineage containing the smallest member id
+provides the state.  Whatever the split, the half holding node 1 must win,
+the losing half must discard its divergent state (``state_discards``) and
+install the winner's snapshot, and every replica must converge on the
+winning half's command history.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.app import ReplicatedStateMachine
+from repro.srp.engine import SrpState
+from repro.types import ReplicationStyle
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import make_cluster  # noqa: E402
+
+
+class CounterMachine:
+    def __init__(self):
+        self.counters = {}
+
+    def apply(self, command: bytes) -> None:
+        key = command[0]
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def snapshot(self) -> bytes:
+        return bytes(v for kv in sorted(self.counters.items()) for v in kv)
+
+    def restore(self, snapshot: bytes) -> None:
+        pairs = zip(snapshot[::2], snapshot[1::2])
+        self.counters = {k: v for k, v in pairs}
+
+
+def ring_is(cluster, members) -> bool:
+    return all(cluster.nodes[n].srp.state is SrpState.OPERATIONAL
+               and tuple(cluster.nodes[n].membership.members) == tuple(members)
+               for n in members)
+
+
+@given(partner=st.sampled_from((2, 3, 4)),
+       shared=st.lists(st.integers(min_value=0, max_value=3),
+                       min_size=0, max_size=4),
+       winner_cmds=st.lists(st.integers(min_value=0, max_value=3),
+                            min_size=1, max_size=6),
+       loser_cmds=st.lists(st.integers(min_value=0, max_value=3),
+                           min_size=1, max_size=6),
+       seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_smallest_member_lineage_wins_exact_tie(partner, shared, winner_cmds,
+                                                loser_cmds, seed):
+    winners = sorted({1, partner})
+    losers = sorted({2, 3, 4} - {partner})
+    cluster = make_cluster(ReplicationStyle.ACTIVE, num_nodes=4, seed=seed,
+                           presence_interval=0.1)
+    rsms = {nid: ReplicatedStateMachine(cluster.nodes[nid], CounterMachine(),
+                                        initially_synced=True)
+            for nid in cluster.nodes}
+    cluster.start()
+    cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                timeout=5.0)
+
+    for key in shared:
+        rsms[1].submit(bytes([key]))
+    cluster.run_for(0.2)
+
+    cluster.partition_cluster([winners, losers])
+    cluster.run_until_condition(
+        lambda: ring_is(cluster, tuple(winners))
+        and ring_is(cluster, tuple(losers)), timeout=5.0)
+
+    # Both halves diverge while they cannot see each other.
+    for key in winner_cmds:
+        rsms[winners[0]].submit(bytes([key]))
+    for key in loser_cmds:
+        rsms[losers[0]].submit(bytes([key + 10]))  # disjoint key space
+    cluster.run_for(0.3)
+
+    cluster.heal_cluster()
+    cluster.run_until_condition(lambda: ring_is(cluster, (1, 2, 3, 4)),
+                                timeout=5.0)
+    cluster.run_until_condition(
+        lambda: all(rsm.synced for rsm in rsms.values()), timeout=5.0)
+    cluster.run_for(0.3)
+
+    expected = {}
+    for key in shared + winner_cmds:
+        expected[key] = expected.get(key, 0) + 1
+    for nid, rsm in rsms.items():
+        assert rsm.machine.counters == expected, (
+            f"node {nid} did not converge on the min-member lineage: "
+            f"{rsm.machine.counters} != {expected}")
+    # The losing half discarded exactly one divergent state each; the
+    # winning half never discarded anything.
+    for nid in losers:
+        assert rsms[nid].stats.state_discards == 1, f"node {nid}"
+        assert rsms[nid].stats.snapshots_installed == 1, f"node {nid}"
+    for nid in winners:
+        assert rsms[nid].stats.state_discards == 0, f"node {nid}"

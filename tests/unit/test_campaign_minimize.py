@@ -1,0 +1,109 @@
+"""Unit tests for the delta-debug minimizer (repro.campaign.minimize).
+
+The predicates here are synthetic (no cluster runs), so these tests pin
+the ddmin search itself: convergence, 1-minimality, workload preservation
+and the crash/restart pairing fix-ups.
+"""
+
+import pytest
+
+from repro.campaign.minimize import minimize_scenario
+from repro.campaign.scenario import Scenario, TimelineEvent
+
+
+def loss(at, network, rate=0.1):
+    return TimelineEvent(at, "loss", {"network": network, "rate": rate})
+
+
+def scenario(events, name="case"):
+    return Scenario(name=name, num_nodes=4, duration=1.0, events=events)
+
+
+def needs(*required):
+    """Predicate: candidate fails iff it still has all ``required`` events."""
+    required = set(required)
+
+    def predicate(candidate):
+        return required <= set(candidate.fault_events)
+
+    return predicate
+
+
+class TestMinimize:
+    def test_single_culprit_found(self):
+        culprit = loss(0.5, 1, 0.9)
+        sc = scenario((loss(0.1, 0), culprit, loss(0.2, 0, 0.2),
+                       TimelineEvent(0.6, "heal_all", {}),
+                       loss(0.7, 1, 0.05)))
+        result = minimize_scenario(sc, predicate=needs(culprit))
+        assert result.minimized_events == 1
+        assert result.scenario.fault_events == (culprit,)
+        assert result.original_events == 5
+
+    def test_pair_of_culprits_found(self):
+        a, b = loss(0.1, 0, 0.8), loss(0.9, 1, 0.8)
+        filler = [loss(0.2 + i * 0.1, i % 2, 0.01) for i in range(6)]
+        sc = scenario(tuple([a] + filler + [b]))
+        result = minimize_scenario(sc, predicate=needs(a, b))
+        assert result.minimized_events == 2
+        assert set(result.scenario.fault_events) == {a, b}
+
+    def test_result_is_one_minimal(self):
+        a, b, c = loss(0.1, 0, 0.7), loss(0.2, 1, 0.7), loss(0.3, 0, 0.6)
+        sc = scenario((a, b, c))
+        result = minimize_scenario(sc, predicate=needs(a, b, c))
+        # All three are required, so nothing can be removed...
+        assert result.minimized_events == 3
+        # ...and indeed dropping any one of them makes the predicate pass.
+        predicate = needs(a, b, c)
+        for keep in ((a, b), (b, c), (a, c)):
+            assert not predicate(sc.with_events(keep))
+
+    def test_workload_is_preserved(self):
+        burst = TimelineEvent(0.05, "burst",
+                              {"node": 1, "count": 5, "size": 32})
+        culprit = loss(0.4, 0, 0.9)
+        sc = scenario((burst, loss(0.1, 1), culprit))
+        result = minimize_scenario(sc, predicate=needs(culprit))
+        assert burst in result.scenario.events
+        assert result.scenario.fault_events == (culprit,)
+
+    def test_orphaned_restart_dropped(self):
+        crash = TimelineEvent(0.2, "crash", {"node": 2})
+        restart = TimelineEvent(0.5, "restart", {"node": 2})
+        culprit = loss(0.1, 0, 0.9)
+        sc = scenario((culprit, crash, restart))
+        result = minimize_scenario(sc, predicate=needs(culprit))
+        # Candidate timelines without the crash must not keep the restart —
+        # the DSL would reject it; the minimum here is the loss alone.
+        assert result.scenario.fault_events == (culprit,)
+
+    def test_passing_scenario_raises(self):
+        sc = scenario((loss(0.1, 0),))
+        with pytest.raises(ValueError, match="does not fail"):
+            minimize_scenario(sc, predicate=lambda candidate: False)
+
+    def test_minimized_name_is_tagged(self):
+        culprit = loss(0.1, 0)
+        sc = scenario((culprit,), name="batch-3-active")
+        result = minimize_scenario(sc, predicate=needs(culprit))
+        assert result.scenario.name == "batch-3-active::min"
+
+    def test_run_budget_respected(self):
+        events = tuple(loss(0.01 * i, i % 2, 0.5) for i in range(1, 9))
+        sc = scenario(events)
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return len(candidate.fault_events) == len(events)
+
+        minimize_scenario(sc, predicate=predicate, max_runs=10)
+        # The initial confirmation run plus at most max_runs candidates.
+        assert len(calls) <= 11
+
+    def test_summary_mentions_counts(self):
+        culprit = loss(0.1, 0)
+        sc = scenario((culprit, loss(0.2, 1)))
+        result = minimize_scenario(sc, predicate=needs(culprit))
+        assert "2 -> 1 fault event(s)" in result.summary()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Dependency-free line coverage for the repro package.
+
+``coverage``/``pytest-cov`` are the real tools (CI runs them); this is the
+no-install fallback for environments that only have the standard library.
+It installs a ``sys.settrace`` hook filtered to ``src/repro``, runs pytest
+in-process, and reports per-module line coverage against the executable
+lines recovered from each module's compiled code objects.
+
+Usage::
+
+    python tools/linecov.py [pytest args...]
+    python tools/linecov.py tests/unit -q --min-report 25
+
+Anything after the script name is passed to pytest verbatim, except
+``--min-report N`` (only list modules below N% coverage, default 100).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Set, Tuple
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+PKG = os.path.join(SRC, "repro")
+
+
+def executable_lines(path: str) -> Set[int]:
+    """Line numbers the compiler marks executable (docstrings excluded)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines: Set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _, _, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    # The compiler attributes module docstrings/constants to line ranges
+    # that include the `"""` lines; that is fine for a report.
+    return lines
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    min_report = 100.0
+    if "--min-report" in argv:
+        i = argv.index("--min-report")
+        min_report = float(argv[i + 1])
+        del argv[i:i + 2]
+    if not argv:
+        argv = ["tests", "-q", "-p", "no:cacheprovider"]
+
+    sys.path.insert(0, SRC)
+    hits: Dict[str, Set[int]] = {}
+    prefix = PKG + os.sep
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            hits_for_file.add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        nonlocal hits_for_file
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None
+        hits_for_file = hits.setdefault(filename, set())
+        return local_trace
+
+    hits_for_file: Set[int] = set()
+
+    import pytest
+
+    sys.settrace(global_trace)
+    try:
+        exit_code = pytest.main(argv)
+    finally:
+        sys.settrace(None)
+
+    rows: list[Tuple[float, str, int, int]] = []
+    total_hit = total_lines = 0
+    for root, _dirs, files in os.walk(PKG):
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            lines = executable_lines(path)
+            if not lines:
+                continue
+            covered = len(lines & hits.get(path, set()))
+            total_hit += covered
+            total_lines += len(lines)
+            percent = 100.0 * covered / len(lines)
+            rows.append((percent,
+                         os.path.relpath(path, SRC).replace(os.sep, "/"),
+                         covered, len(lines)))
+
+    rows.sort()
+    print("\nline coverage (settrace approximation, lowest first):")
+    for percent, module, covered, count in rows:
+        if percent <= min_report:
+            print(f"  {percent:6.1f}%  {module}  ({covered}/{count})")
+    if total_lines:
+        print(f"  total: {100.0 * total_hit / total_lines:.1f}% "
+              f"({total_hit}/{total_lines} lines)")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
