@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from .runner import run_scenario
-from .scenario import Scenario, TimelineEvent
+from .scenario import WORKLOAD_KINDS, Scenario, TimelineEvent
 
 
 @dataclass
@@ -46,28 +46,52 @@ def default_predicate(scenario: Scenario) -> bool:
 def _rebuild(scenario: Scenario, faults: Sequence[TimelineEvent]) -> Scenario:
     """The scenario with only ``faults`` kept (workload untouched).
 
-    A partial timeline can orphan a ``restart`` (its ``crash`` was dropped),
-    which the DSL rejects; the candidate is patched by dropping orphaned
-    restarts so ddmin can explore such subsets instead of crashing.
+    ``faults`` is always an in-order subsequence of the scenario's fault
+    events (ddmin only ever slices the list), so selection is positional on
+    object identity — a structural-membership set would resurrect a dropped
+    event whenever the timeline holds two identical entries, making
+    duplicates unremovable.
+
+    A partial timeline can also leave events dangling: a ``restart`` whose
+    ``crash`` was dropped (the DSL rejects it) or a ``heal_all`` /
+    ``restore_network`` whose introducing fault was dropped (a dead no-op
+    that would pad the "minimal" result).  Both are pruned so ddmin can
+    explore every subset and the output timeline carries no dead weight.
     """
-    kept = set(faults)
+    keep = list(faults)
+    index = 0
     events: List[TimelineEvent] = []
     crashed: set = set()
+    dirty: set = set()       # networks with injected fault state
+    partitioned = False      # a partition_all is in effect
     for event in scenario.events:
-        if event.kind not in ("crash", "restart"):
-            if event.kind in ("burst",) or event in kept:
-                events.append(event)
+        if event.kind in WORKLOAD_KINDS:
+            events.append(event)
             continue
-        if event not in kept:
-            if event.kind == "crash":
-                crashed.discard(event.params["node"])
+        if index < len(keep) and keep[index] is event:
+            index += 1
+        else:
             continue
         if event.kind == "crash":
             crashed.add(event.params["node"])
-            events.append(event)
-        elif event.params["node"] in crashed:
+        elif event.kind == "restart":
+            if event.params["node"] not in crashed:
+                continue     # dangling: its crash was dropped
             crashed.discard(event.params["node"])
-            events.append(event)
+        elif event.kind == "heal_all":
+            if not dirty and not partitioned:
+                continue     # dangling: nothing left to heal
+            dirty.clear()
+            partitioned = False
+        elif event.kind == "restore_network":
+            if event.params["network"] not in dirty and not partitioned:
+                continue     # dangling: that network is already clean
+            dirty.discard(event.params["network"])
+        elif event.kind == "partition_all":
+            partitioned = True
+        else:                # the network-level fault vocabulary
+            dirty.add(event.params["network"])
+        events.append(event)
     return scenario.with_events(events, name=f"{scenario.name}::min")
 
 
@@ -135,8 +159,11 @@ def minimize_scenario(
         else:
             i += 1
 
+    minimized = _rebuild(scenario, faults)
     return MinimizeResult(
-        scenario=_rebuild(scenario, faults),
+        scenario=minimized,
         original_events=original,
-        minimized_events=len(faults),
+        # Count what actually survived into the timeline: _rebuild prunes
+        # dangling events, so len(faults) can overstate the result.
+        minimized_events=len(minimized.fault_events),
         runs=runs)

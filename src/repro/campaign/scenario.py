@@ -26,6 +26,7 @@ Network faults (masked by redundancy while at least one network is clean)::
     sever_send       network, node               node's TX path dies
     sever_recv       network, node               node's RX path dies
     sever_pair       network, src, dst           one directed path dies
+    drop_frame       network, src, serial        lose src's serial-th frame
 
 Node-connectivity faults and churn (redundancy cannot mask these)::
 
@@ -67,6 +68,7 @@ EVENT_SPECS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
     "sever_send": (("network", "node"), {}),
     "sever_recv": (("network", "node"), {}),
     "sever_pair": (("network", "src", "dst"), {}),
+    "drop_frame": (("network", "src", "serial"), {}),
     "partition": (("network", "groups"), {}),
     "partition_all": (("groups",), {}),
     "heal_all": ((), {}),
@@ -81,7 +83,7 @@ FAULT_KINDS = frozenset(EVENT_SPECS) - WORKLOAD_KINDS
 #: protocol rides them out as long as one network stays clean.
 MASKABLE_KINDS = frozenset({
     "loss", "burst_loss", "fail_network", "sever_send", "sever_recv",
-    "sever_pair",
+    "sever_pair", "drop_frame",
 })
 #: Events that clear fault state rather than introduce it.
 RESTORATIVE_KINDS = frozenset({"restore_network", "heal_all"})
@@ -229,6 +231,8 @@ class Scenario:
         if event.kind == "burst":
             if params["count"] < 1 or params["size"] < 0 or params["gap"] < 0:
                 raise ConfigError(f"event '{event}' has a bad burst shape")
+        if event.kind == "drop_frame" and params["serial"] < 1:
+            raise ConfigError(f"event '{event}' has a bad frame serial")
         if event.kind == "crash":
             restartable.add(params["node"])
         if event.kind == "restart":

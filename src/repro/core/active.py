@@ -62,6 +62,13 @@ class ActiveReplication(ReplicationEngine):
         self.monitor.decay()
         self._schedule_decay()
 
+    def _style_digest(self) -> Tuple:
+        return (self._packet_digest(self._last_token),
+                tuple(self._recv_flags), self._delivered_current,
+                self._timer_digest(self._token_timer),
+                self._timer_digest(self._decay_timer),
+                tuple(self.monitor.counters))
+
     # ----- sends: every packet via every non-faulty network, same order -----
 
     def broadcast_data(self, packet: DataPacket) -> None:

@@ -87,6 +87,19 @@ class ActivePassiveReplication(ReplicationEngine):
             self.message_monitors[origin] = monitor
         return monitor
 
+    def _style_digest(self) -> tuple:
+        return (self._send_message_via, self._send_token_via,
+                self._packet_digest(self._last_token),
+                tuple(self._recv_flags), self._delivered_current,
+                self._packet_digest(self._buffered_token),
+                self._timer_digest(self._assemble_timer),
+                self._timer_digest(self._gap_timer),
+                self._timer_digest(self._topup_timer),
+                tuple(self.token_monitor.recv_count),
+                tuple((origin, tuple(monitor.recv_count))
+                      for origin, monitor
+                      in sorted(self.message_monitors.items())))
+
     # ----- sends: K copies, round-robin window -----
 
     def _window(self, start: int) -> List[int]:

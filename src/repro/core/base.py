@@ -121,6 +121,36 @@ class ReplicationEngine:
             raise RuntimeError("replication engine not bound to an SRP")
         return self._srp
 
+    # ----- explorer digests (repro.check explore) -----
+
+    def _timer_digest(self, timer):
+        """A pending timer as a relative deadline (None when unset)."""
+        if timer is None or not timer.active:
+            return None
+        return round(timer.when - self.runtime.now(), 9)
+
+    def _packet_digest(self, packet):
+        """A held packet as canonical wire bytes (None when unset)."""
+        if packet is None:
+            return None
+        from ..wire.codec import encode_packet
+        return encode_packet(packet)
+
+    def digest_state(self) -> tuple:
+        """Canonical tuple of protocol-visible replication-layer state.
+
+        Statistics counters and fault-report logs are excluded (they never
+        feed back into a protocol decision); the fault *marks* are included
+        because they steer sends.  See docs/MODELCHECK.md.
+        """
+        return ("rrp", type(self).__name__, self.node_id,
+                tuple(self.faults._faulty), self._stopped,
+                self._style_digest())
+
+    def _style_digest(self) -> tuple:
+        """Style-specific state folded into :meth:`digest_state`."""
+        return ()
+
     def _recv_cost(self, packet: object) -> float:
         """CPU cost classifier for the network stack (duplicates are cheap)."""
         lan = self._recv_lan_config
@@ -143,6 +173,14 @@ class ReplicationEngine:
     # ----- upward dispatch (NetworkStack handler) -----
 
     def on_packet(self, packet: object, network: int) -> None:
+        if self._stopped:
+            # A stopped incarnation is a dead process: frames already in
+            # flight to it at the moment of the restart still arrive at its
+            # abandoned stack, but must not be processed — handling one
+            # would re-arm engine timers *after* stop() cancelled them
+            # (found by `repro.check explore`: crash + in-flight token +
+            # restart re-armed the old engine's token timer).
+            return
         # Dispatch on the concrete class: the ``packet_type`` discriminator
         # is a property returning an enum member, which costs a call per
         # frame on the hottest upward path.

@@ -81,6 +81,16 @@ class PassiveReplication(ReplicationEngine):
             self.message_monitors[origin] = monitor
         return monitor
 
+    def _style_digest(self) -> tuple:
+        return (self._send_message_via, self._send_token_via,
+                self._packet_digest(self._buffered_token),
+                self._timer_digest(self._token_timer),
+                self._timer_digest(self._topup_timer),
+                tuple(self.token_monitor.recv_count),
+                tuple((origin, tuple(monitor.recv_count))
+                      for origin, monitor
+                      in sorted(self.message_monitors.items())))
+
     # ----- sends: round-robin over non-faulty networks -----
 
     def _next_network(self, current: int) -> int:

@@ -92,6 +92,39 @@ class NetworkFaultModel:
         #: receivers of a broadcast share the burst — the drop happens at
         #: the switch/medium, not per receiver).
         self.burst_loss: Optional[GilbertElliottLoss] = None
+        #: Targeted single-frame drops: ``(src, serial)`` pairs, where
+        #: ``serial`` is the 1-based index of the frame among all frames
+        #: ``src`` ever offered to this network.  The addressed frame is
+        #: lost at the medium (all receivers of a broadcast share the drop).
+        #: This is how ``repro.check explore`` counterexamples express "the
+        #: k-th frame from node s was lost" deterministically.
+        self.drop_serials: Set[Tuple[NodeId, int]] = set()
+
+    def consume_drop(self, src: NodeId, serial: int) -> bool:
+        """Whether frame ``serial`` from ``src`` is scripted to drop.
+
+        Consuming: each scripted drop fires at most once.
+        """
+        try:
+            self.drop_serials.remove((src, serial))
+            return True
+        except KeyError:
+            return False
+
+    def digest_state(self) -> tuple:
+        """Canonical state tuple for explorer digests (repro.check explore)."""
+        burst = self.burst_loss
+        return ("netfaults", self.down,
+                tuple(sorted(self.send_blocked)),
+                tuple(sorted(self.recv_blocked)),
+                tuple(sorted(self.blocked_pairs)),
+                None if self.partition is None
+                else tuple(sorted(tuple(sorted(g)) for g in self.partition)),
+                self.extra_loss_rate,
+                None if burst is None
+                else (burst.p_good_to_bad, burst.p_bad_to_good,
+                      burst.bad_loss, burst.in_bad_state),
+                tuple(sorted(self.drop_serials)))
 
     def can_send(self, src: NodeId) -> bool:
         """Whether a frame from ``src`` even reaches the medium."""
@@ -129,6 +162,7 @@ class NetworkFaultModel:
         self.partition = None
         self.extra_loss_rate = 0.0
         self.burst_loss = None
+        self.drop_serials.clear()
 
 
 @dataclass(frozen=True)
@@ -203,6 +237,21 @@ class FaultPlan:
         def apply(model: NetworkFaultModel) -> None:
             model.set_partition(frozen)
         return self._add(at, network, apply, f"partition {frozen}")
+
+    def drop_frame(self, at: float, network: NetworkIndex,
+                   src: NodeId, serial: int) -> "FaultPlan":
+        """Drop the ``serial``-th frame ``src`` offers to ``network``.
+
+        Serials are 1-based and count every frame the node's port offers
+        (including frames later blocked by other faults), so the address is
+        stable under replay.  ``at`` must precede the frame's transmission.
+        """
+        if serial < 1:
+            raise ConfigError("frame serial must be >= 1")
+
+        def apply(model: NetworkFaultModel) -> None:
+            model.drop_serials.add((src, serial))
+        return self._add(at, network, apply, f"drop frame {src}#{serial}")
 
     def set_loss(self, at: float, network: NetworkIndex, rate: float) -> "FaultPlan":
         """Inject extra i.i.d. frame loss on ``network``."""

@@ -81,6 +81,9 @@ class SimLan:
         self._generations: Dict[NodeId, int] = {}
         #: Virtual time at which the medium finishes its current backlog.
         self._medium_free_at: float = 0.0
+        #: Frames offered per source node (1-based serials): the address
+        #: space for targeted drops and for the explorer's drop decisions.
+        self._tx_serial: Dict[NodeId, int] = {}
         #: Optional delivery observer ``(network, src, dst, packet, arrival)``
         #: called for every frame actually scheduled for delivery (used by
         #: :mod:`repro.check` to know which packets are in flight).
@@ -122,6 +125,8 @@ class SimLan:
         faults = self.faults
         config = self.config
         stats.frames_offered += 1
+        serial = self._tx_serial.get(src, 0) + 1
+        self._tx_serial[src] = serial
         if (generation is not None
                 and self._generations.get(src) != generation):
             stats.frames_blocked += 1
@@ -149,6 +154,11 @@ class SimLan:
         # receivers of a broadcast share the outcome.
         if (faults.burst_loss is not None
                 and faults.burst_loss.frame_lost(self._rng)):
+            stats.frames_lost += 1
+            return
+        # Targeted drops (scripted by serial) share the medium/switch
+        # semantics: the frame was transmitted, then lost for everyone.
+        if faults.drop_serials and faults.consume_drop(src, serial):
             stats.frames_lost += 1
             return
 
@@ -185,11 +195,18 @@ class SimLan:
             if observer is not None:
                 observer(self.index, src, node, packet, arrival)
         if fanout:
-            self._scheduler.schedule(arrival, self._fanout, src, packet, fanout)
+            self._scheduler.schedule(arrival, self._fanout, src, packet,
+                                     fanout, serial)
 
     def _fanout(self, src: NodeId, packet: object,
-                targets: List[Tuple[DeliverFn, NodeId]]) -> None:
-        """Deliver one frame to every receiver that survived the loss draws."""
+                targets: List[Tuple[DeliverFn, NodeId]],
+                serial: int = 0) -> None:
+        """Deliver one frame to every receiver that survived the loss draws.
+
+        ``serial`` is carried in the event args purely so an in-flight frame
+        is addressable from outside (the explorer's drop decisions record
+        it); delivery itself does not use it.
+        """
         for deliver, _node in targets:
             deliver(src, packet)
 

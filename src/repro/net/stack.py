@@ -102,6 +102,63 @@ class NodeCpu:
             self._start_next()
 
 
+class _DefaultRecvCost:
+    """Flat per-frame receive cost, used until the protocol glue installs a
+    classifier via :meth:`NetworkStack.set_recv_cost_fn`.
+
+    A callable object rather than a closure: ``copy.deepcopy`` treats plain
+    functions as atomic, so a closure here would keep a copied stack wired
+    to the original's config.  Every long-lived callable the simulated world
+    stores must be an object (or a bound method) for cluster snapshots to be
+    self-contained.
+    """
+
+    __slots__ = ("_lan_config",)
+
+    def __init__(self, lan_config: LanConfig) -> None:
+        self._lan_config = lan_config
+
+    def __call__(self, packet: object) -> float:
+        return self._lan_config.cpu_per_recv
+
+
+class _RecvJobCost:
+    """Deferred receive-cost evaluation for one queued frame.
+
+    Cost is resolved when the CPU job *starts*, so a copy arriving just
+    behind its twin is correctly billed as a duplicate.  Deepcopy-safe
+    (see :class:`_DefaultRecvCost`).
+    """
+
+    __slots__ = ("_stack", "_packet")
+
+    def __init__(self, stack: "NetworkStack", packet: object) -> None:
+        self._stack = stack
+        self._packet = packet
+
+    def __call__(self) -> float:
+        return self._stack._recv_cost_fn(self._packet)
+
+
+class _PortDeliver:
+    """The per-network delivery callback a stack registers with a LAN.
+
+    Instances live in ``SimLan._receivers`` and inside in-flight fanout
+    events, so they must be deepcopy-safe (see :class:`_DefaultRecvCost`).
+    """
+
+    __slots__ = ("_stack", "_network")
+
+    def __init__(self, stack: "NetworkStack", network: int) -> None:
+        self._stack = stack
+        self._network = network
+
+    def __call__(self, src: NodeId, packet: object) -> None:
+        stack = self._stack
+        stack._cpu.submit(_RecvJobCost(stack, packet),
+                          stack._dispatch, packet, self._network)
+
+
 class NetworkStack:
     """A node's view of its N redundant networks.
 
@@ -121,7 +178,7 @@ class NetworkStack:
         self._lan_config = lan_config
         self._ports: List[LanPort] = list(ports)
         self._handler: Optional[PacketHandler] = None
-        self._recv_cost_fn: RecvCostFn = lambda packet: lan_config.cpu_per_recv
+        self._recv_cost_fn: RecvCostFn = _DefaultRecvCost(lan_config)
         #: Frames dropped because no handler was installed yet.
         self.undelivered = 0
 
@@ -165,14 +222,9 @@ class NetworkStack:
 
     # ----- upward path (network -> engine) -----
 
-    def make_deliver_fn(self, network: int):
+    def make_deliver_fn(self, network: int) -> _PortDeliver:
         """The per-network delivery callback to register with a LAN."""
-        def deliver(src: NodeId, packet: object) -> None:
-            # Cost is resolved when the job starts, so a copy arriving just
-            # behind its twin is correctly billed as a duplicate.
-            self._cpu.submit(lambda: self._recv_cost_fn(packet),
-                             self._dispatch, packet, network)
-        return deliver
+        return _PortDeliver(self, network)
 
     def _dispatch(self, packet: object, network: int) -> None:
         if self._handler is None:

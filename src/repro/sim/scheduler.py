@@ -38,6 +38,11 @@ from .clock import VirtualClock
 _WHEN, _COUNTER, _CALLBACK, _ARGS = range(4)
 
 
+def _entry_counter(entry: list) -> int:
+    """Sort key recovering insertion order among same-time entries."""
+    return entry[_COUNTER]
+
+
 class Timer:
     """Handle for a scheduled event; supports cancellation.
 
@@ -153,11 +158,22 @@ class EventScheduler:
         In place (``heap[:] =``) so aliases held by a running ``run_until``
         loop stay valid.  Entries keep their (when, counter) keys, so
         re-heapifying cannot change the order in which live timers fire.
+
+        The tombstone count is decremented by the number of entries actually
+        removed rather than reset to zero: the two are equal today, but a
+        recount keeps the accounting correct by construction even if a
+        future caller tombstones entries it temporarily holds out of the
+        heap.  ``dead_entries`` must never go negative — a double-cancelled
+        handle whose entry was already compacted away contributes nothing
+        (``Timer.cancel`` re-checks the entry's callback slot, which stays
+        ``None`` forever once tombstoned).
         """
         heap = self._heap
-        heap[:] = [entry for entry in heap if entry[_CALLBACK] is not None]
+        live = [entry for entry in heap if entry[_CALLBACK] is not None]
+        removed = len(heap) - len(live)
+        heap[:] = live
         heapify(heap)
-        self._dead = 0
+        self._dead = max(0, self._dead - removed)
         self.compactions += 1
 
     # ----- execution -----
@@ -192,6 +208,69 @@ class EventScheduler:
         while heap and heap[0][_CALLBACK] is None:
             heappop(heap)
             self._dead -= 1
+
+    # ----- explorer hooks (repro.check explore) -----
+    #
+    # The model checker drives the scheduler one event at a time, but needs
+    # to *choose* which of several same-time events fires next (and to model
+    # frame loss by discarding a pending arrival).  These hooks expose just
+    # enough of the heap to do that without disturbing the (time,
+    # insertion-order) contract the normal run paths rely on: a chosen entry
+    # is fired and tombstoned in place, so the regular pop paths discard it
+    # later with the existing dead-entry accounting.
+
+    def ready_entries(self) -> list:
+        """Live heap entries sharing the earliest pending timestamp.
+
+        Returned in insertion order (the default tie-break), so
+        ``fire_entry(ready_entries()[0])`` reproduces exactly what
+        :meth:`step` would have done.  O(heap) scan — this is an exploration
+        hook, not a hot path.
+        """
+        self._drop_cancelled()
+        heap = self._heap
+        if not heap:
+            return []
+        when = heap[0][_WHEN]
+        ready = [entry for entry in heap
+                 if entry[_WHEN] == when and entry[_CALLBACK] is not None]
+        ready.sort(key=_entry_counter)
+        return ready
+
+    def fire_entry(self, entry: list) -> None:
+        """Fire one specific pending entry now, out of heap order.
+
+        The entry must be live (not fired, not cancelled) and not in the
+        clock's past.  It is tombstoned in place before the callback runs,
+        exactly like the normal execution paths, so handles and the
+        dead-entry accounting observe a fired timer.
+        """
+        callback = entry[_CALLBACK]
+        if callback is None:
+            raise SimulationError("entry already fired or cancelled")
+        when = entry[_WHEN]
+        if when < self.clock._now:
+            raise SimulationError(
+                f"cannot fire entry in the past: {when} < {self.clock._now}")
+        args = entry[_ARGS]
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
+        self._dead += 1
+        self.clock.advance_to(when)
+        callback(*args)
+        self._events_processed += 1
+
+    def discard_entry(self, entry: list) -> None:
+        """Tombstone a pending entry without firing it.
+
+        The explorer's model of frame loss: a scheduled arrival that never
+        happens.  Accounting matches :meth:`Timer.cancel`.
+        """
+        if entry[_CALLBACK] is None:
+            raise SimulationError("entry already fired or cancelled")
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
+        self._dead += 1
 
     def step(self) -> bool:
         """Fire the next live event.  Returns False if none remain."""

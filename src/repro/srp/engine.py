@@ -260,6 +260,79 @@ class TotemSrp:
         """Restore the stable-storage ring-seq watermark after a restart."""
         self._highest_ring_seq = max(self._highest_ring_seq, int(watermark))
 
+    # ------------------------------------------------------------------
+    # explorer digests (repro.check explore)
+    # ------------------------------------------------------------------
+
+    def _timer_digest(self, timer) -> Optional[float]:
+        """A pending timer as a relative deadline (None when unset)."""
+        if timer is None or not timer.active:
+            return None
+        return round(timer.when - self.runtime.now(), 9)
+
+    def digest_state(self) -> Tuple:
+        """Canonical tuple of all protocol-visible state.
+
+        Two engines with equal digests behave identically on every future
+        input; ``repro.check explore`` keys its visited-state set on this
+        (see docs/MODELCHECK.md).  Statistics counters, trace/probe hooks
+        and rotation timing are excluded — they never feed back into a
+        protocol decision.  Absolute times appear only as deadlines
+        relative to "now", so states reached at different virtual times
+        can still coincide.  Packets are rendered through the wire codec,
+        which sorts every set it encodes.
+        """
+        now = self.runtime.now()
+
+        def ring(r: Optional[RingId]) -> Optional[Tuple[int, NodeId]]:
+            return None if r is None else (r.seq, r.representative)
+
+        def members(m: Optional[Membership]) -> Optional[Tuple]:
+            return None if m is None else (ring(m.ring_id), tuple(m.members))
+
+        def packet(p) -> Optional[bytes]:
+            return None if p is None else encode_packet(p)
+
+        def buffer(b: Optional[ReceiveBuffer]) -> Optional[Tuple]:
+            return None if b is None else b.digest_state()
+
+        return (
+            "srp", self.node_id, self.state.value, self._started,
+            ring(self.ring_id), members(self.membership),
+            # operational (current ring)
+            buffer(self.recv_buffer), self._delivered_seq,
+            self._reassembler.digest_state(),
+            self.send_queue.digest_state(), self._packer.digest_state(),
+            self._flow.digest_state(),
+            packet(self._last_token), self._last_accepted_stamp,
+            self._prev_token_aru, self._stable_seq,
+            # timers (relative deadlines)
+            self._timer_digest(self._token_retrans_timer),
+            self._timer_digest(self._token_loss_timer),
+            self._timer_digest(self._join_resend_timer),
+            self._timer_digest(self._consensus_timer),
+            self._timer_digest(self._presence_timer),
+            # gather
+            tuple(sorted(self._proc_set)), tuple(sorted(self._fail_set)),
+            tuple(sorted(self._heard)),
+            tuple((n, tuple(sorted(ps)), tuple(sorted(fs)))
+                  for n, (ps, fs) in sorted(self._last_join_sets.items())),
+            self._highest_ring_seq,
+            # commit / recovery
+            packet(self._commit_token), self._commit_stamp_seen,
+            members(self._pending_membership),
+            ring(self._old_ring), members(self._old_membership),
+            buffer(self._old_buffer), self._old_delivered,
+            None if self._old_reassembler is None
+            else self._old_reassembler.digest_state(),
+            tuple(encode_packet(p) for p in self._recovery_pending),
+            self._recovery_reassembler.digest_state(),
+            self._voted_done, self._recovery_absorbed,
+            # expired quarantine entries are behaviourally inert
+            tuple((n, round(t - now, 9))
+                  for n, t in sorted(self._quarantine.items()) if t > now),
+        )
+
     def submit(self, payload: bytes) -> None:
         """Queue an application message for totally ordered broadcast."""
         self.send_queue.enqueue(bytes(payload))

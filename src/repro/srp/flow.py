@@ -31,6 +31,10 @@ class FlowController:
         self._prev_sent = 0
         self._prev_backlog = 0
 
+    def digest_state(self) -> tuple:
+        """Canonical state tuple for explorer digests."""
+        return ("flow", self._prev_sent, self._prev_backlog)
+
     def allowance(self, token: Token) -> int:
         """How many messages this node may broadcast on this visit."""
         others = max(0, token.fcc - self._prev_sent)

@@ -9,7 +9,7 @@ One :class:`ReceiveBuffer` exists per ring incarnation.  It triples as
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..types import SeqNum
 from ..wire.packets import DataPacket
@@ -46,6 +46,17 @@ class ReceiveBuffer:
 
     def __len__(self) -> int:
         return len(self._packets)
+
+    def digest_state(self) -> Tuple:
+        """Canonical state tuple for explorer digests (see docs/MODELCHECK.md).
+
+        Packets are rendered via their wire encoding so the digest depends
+        only on protocol-visible content, not object identity.
+        """
+        from ..wire.codec import encode_packet
+        return ("rbuf", self._my_aru, self._high_seq, self._gc_floor,
+                tuple((seq, encode_packet(self._packets[seq]))
+                      for seq in sorted(self._packets)))
 
     def has(self, seq: SeqNum) -> bool:
         """Whether ``seq`` was ever received (even if since collected)."""

@@ -105,6 +105,10 @@ class Packer:
             break
         return chunks
 
+    def digest_state(self) -> Tuple:
+        """Canonical state tuple for explorer digests."""
+        return ("packer", self._next_msg_id, self._partial)
+
     def _allocate_msg_id(self) -> int:
         msg_id = self._next_msg_id
         self._next_msg_id = (self._next_msg_id + 1) & 0xFFFFFFFF or 1
@@ -138,6 +142,12 @@ class Reassembler:
             del self._partial[key]
             return b"".join(fragments)
         return None
+
+    def digest_state(self) -> Tuple:
+        """Canonical state tuple for explorer digests."""
+        return ("reasm", tuple(
+            (key, tuple(fragments))
+            for key, fragments in sorted(self._partial.items())))
 
     def pending_count(self) -> int:
         return len(self._partial)

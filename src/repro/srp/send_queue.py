@@ -35,6 +35,10 @@ class SendQueue:
     def full(self) -> bool:
         return len(self._queue) >= self._capacity
 
+    def digest_state(self) -> Tuple:
+        """Canonical state tuple for explorer digests."""
+        return ("sendq", tuple(self._queue))
+
     def enqueue(self, payload: bytes) -> None:
         """Append a message; raises :class:`SendQueueFullError` when full."""
         if self.full:

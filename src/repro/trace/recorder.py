@@ -69,11 +69,9 @@ class Tracer:
             time=self._now_fn(), node=node, category=category,
             event=event, detail=detail))
 
-    def bind(self, node: NodeId, category: str):
+    def bind(self, node: NodeId, category: str) -> "BoundTrace":
         """A per-node, per-category emit function for engine hooks."""
-        def emit(event: str, detail: str = "") -> None:
-            self.emit(node, category, event, detail)
-        return emit
+        return BoundTrace(self, node, category)
 
     # ----- queries -----
 
@@ -105,3 +103,24 @@ class Tracer:
         if self.dropped:
             lines.insert(0, f"({self.dropped} earlier events dropped)")
         return "\n".join(lines) if lines else "(no events)"
+
+
+class BoundTrace:
+    """A per-node, per-category trace hook (what :meth:`Tracer.bind` returns).
+
+    A callable object rather than a closure: engines hold these for their
+    whole life, and ``copy.deepcopy`` treats plain functions as atomic — a
+    closure here would leave a deep-copied cluster emitting trace events
+    into the *original* tracer.  Cluster snapshots (``repro.check explore``)
+    rely on every long-lived callable being an object or bound method.
+    """
+
+    __slots__ = ("_tracer", "_node", "_category")
+
+    def __init__(self, tracer: Tracer, node: NodeId, category: str) -> None:
+        self._tracer = tracer
+        self._node = node
+        self._category = category
+
+    def __call__(self, event: str, detail: str = "") -> None:
+        self._tracer.emit(self._node, self._category, event, detail)

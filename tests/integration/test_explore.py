@@ -1,0 +1,178 @@
+"""End-to-end tests for the ``repro.check explore`` model checker.
+
+Three things must hold:
+
+* the fixed protocol tree is clean — a small exploration completes
+  exhaustively with zero violations;
+* the checker has teeth — an injected delivery-order bug (the same
+  eager-delivery mutation the campaign corpus uses) is found, exported as
+  a campaign scenario, and the export independently reproduces through the
+  campaign runner;
+* the bug the explorer found for real (a stopped incarnation processing
+  an in-flight frame and re-arming its timers after restart) stays fixed,
+  pinned by ``tests/scenarios/restart_inflight_token.json``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import load_scenario, run_scenario
+from repro.check.explore import (
+    ExploreOptions,
+    apply_mutation,
+    explore,
+    replay_trace,
+)
+from repro.core.base import ReplicationEngine
+from repro.types import ReplicationStyle
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "..", "scenarios")
+TRACE_DIR = os.path.join(os.path.dirname(__file__), "..", "traces")
+
+
+def _quick_options(**overrides):
+    base = dict(nodes=2, networks=2, max_msgs=2, horizon=0.003,
+                settle=0.3, max_depth=2, time_limit=120.0)
+    base.update(overrides)
+    return ExploreOptions(**base)
+
+
+def test_exploration_is_exhaustive_and_clean():
+    report = explore(_quick_options())
+    assert report.exhaustive
+    assert report.clean
+    assert report.paths > 10
+    assert report.states > 10
+    # The canonical-only iteration plus the single-drop frontier.
+    assert report.iterations[0] == (0, 1, True)
+    assert not report.iterations[-1][2]  # final depth: nothing truncated
+
+
+def test_por_and_no_por_agree():
+    with_por = explore(_quick_options())
+    without = explore(_quick_options(por=False))
+    assert with_por.clean and without.clean
+    assert with_por.exhaustive and without.exhaustive
+    # POR may only *merge* equivalent schedules, never skip distinct ones.
+    assert with_por.paths <= without.paths
+
+
+def test_passive_style_exploration_clean():
+    report = explore(_quick_options(style=ReplicationStyle.PASSIVE,
+                                    settle=0.4))
+    assert report.exhaustive
+    assert report.clean
+
+
+def test_mutation_is_caught_and_exported(tmp_path):
+    """Acceptance: the eager-delivery bug is found and the exported
+    counterexample replays through the campaign runner."""
+    options = _quick_options(
+        horizon=0.005, settle=0.4, fault_budget=2, max_depth=2,
+        drop_kinds=("data",), export_dir=str(tmp_path))
+    with apply_mutation("eager-delivery"):
+        report = explore(options)
+    assert report.violations, "mutation not caught"
+    first = report.violations[0]
+    # Root cause: both network copies of one data frame dropped, so the
+    # mutated node skips the gap and diverges -> agreement breach.
+    oracles = {violation.oracle for violation in first.oracles}
+    assert "agreement" in oracles or "evs-ledger" in oracles
+    assert first.scenario_path and os.path.exists(first.scenario_path)
+    assert first.trace_path and os.path.exists(first.trace_path)
+    assert first.replay_verified, "exported scenario did not reproduce"
+
+    # The exported scenario is a valid, loadable campaign case and is
+    # clean once the mutation is removed (the bug is in the protocol
+    # mutation, not the scenario).
+    scenario = load_scenario(first.scenario_path)
+    assert any(event.kind == "drop_frame" for event in scenario.events)
+    result = run_scenario(scenario)
+    assert result.ok, result.violations
+
+    # The decision trace replays exactly: violations under the mutation,
+    # none on the fixed tree.
+    with apply_mutation("eager-delivery"):
+        _options, violations = replay_trace(first.trace_path)
+    assert violations
+    _options, violations = replay_trace(first.trace_path)
+    assert violations == []
+
+
+def test_trace_export_is_json_roundtrippable(tmp_path):
+    options = _quick_options(
+        horizon=0.005, settle=0.4, fault_budget=2, max_depth=2,
+        drop_kinds=("data",), export_dir=str(tmp_path))
+    with apply_mutation("eager-delivery"):
+        report = explore(options)
+    with open(report.violations[0].trace_path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    assert data["decisions"]
+    rebuilt = ExploreOptions.from_dict(data["options"])
+    assert rebuilt.style is options.style
+    assert rebuilt.fault_budget == options.fault_budget
+
+
+# ----- the explorer-found lifecycle bug, pinned -----
+
+@pytest.fixture
+def unguarded_on_packet(monkeypatch):
+    """Re-open the bug the explorer found: let a stopped engine process
+    arriving frames (it then re-arms timers after stop())."""
+    original = ReplicationEngine.on_packet
+
+    def unguarded(self, packet, network):
+        stopped = self._stopped
+        self._stopped = False
+        try:
+            original(self, packet, network)
+        finally:
+            self._stopped = stopped
+
+    monkeypatch.setattr(ReplicationEngine, "on_packet", unguarded)
+
+
+def test_restart_inflight_token_scenario_pinned():
+    """The pinned counterexample is clean on the fixed tree."""
+    scenario = load_scenario(
+        os.path.join(SCENARIO_DIR, "restart_inflight_token.json"))
+    result = run_scenario(scenario)
+    assert result.ok, result.violations
+
+
+def test_restart_inflight_token_scenario_has_teeth(unguarded_on_packet):
+    """Removing the fix makes the pinned scenario fail the same way the
+    explorer originally reported (timer-after-stop)."""
+    scenario = load_scenario(
+        os.path.join(SCENARIO_DIR, "restart_inflight_token.json"))
+    result = run_scenario(scenario)
+    assert any("timer-after-stop" in str(violation)
+               for violation in result.violations)
+
+
+def test_restart_inflight_token_trace_pinned():
+    """The explorer's own decision trace for the lifecycle bug replays
+    clean on the fixed tree (exact schedule, not just the scenario)."""
+    _options, violations = replay_trace(
+        os.path.join(TRACE_DIR, "restart_inflight_token.trace.json"))
+    assert violations == []
+
+
+def test_restart_inflight_token_trace_has_teeth(unguarded_on_packet):
+    _options, violations = replay_trace(
+        os.path.join(TRACE_DIR, "restart_inflight_token.trace.json"))
+    assert any("timer-after-stop" in violation.detail
+               for violation in violations)
+
+
+def test_crash_exploration_smoke():
+    """A one-deviation churn exploration stays clean after the fix (the
+    full crash+restart product runs in the nightly deep job)."""
+    report = explore(ExploreOptions(
+        nodes=2, networks=2, max_msgs=2, horizon=0.0001, settle=0.8,
+        faults=("crash", "restart"), fault_budget=1,
+        max_depth=1, time_limit=120.0))
+    assert report.clean
+    assert report.paths > 5

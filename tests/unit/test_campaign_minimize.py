@@ -5,9 +5,11 @@ the ddmin search itself: convergence, 1-minimality, workload preservation
 and the crash/restart pairing fix-ups.
 """
 
+import random
+
 import pytest
 
-from repro.campaign.minimize import minimize_scenario
+from repro.campaign.minimize import _rebuild, minimize_scenario
 from repro.campaign.scenario import Scenario, TimelineEvent
 
 
@@ -107,3 +109,130 @@ class TestMinimize:
         sc = scenario((culprit, loss(0.2, 1)))
         result = minimize_scenario(sc, predicate=needs(culprit))
         assert "2 -> 1 fault event(s)" in result.summary()
+
+    def test_duplicate_events_are_removable(self):
+        # TimelineEvent equality is structural, so two identical entries
+        # must be distinguished positionally — a membership set would
+        # resurrect the dropped twin and keep both copies forever.
+        twin_a = loss(0.3, 0, 0.5)
+        twin_b = loss(0.3, 0, 0.5)
+        assert twin_a == twin_b
+        sc = scenario((twin_a, twin_b))
+        result = minimize_scenario(
+            sc, predicate=lambda candidate: len(candidate.fault_events) >= 1)
+        assert len(result.scenario.fault_events) == 1
+        assert result.minimized_events == 1
+
+    def test_repeated_crash_cycles_reduce_to_required_pair(self):
+        # Dropping the second crash must not erase the pairing state the
+        # first (kept) crash established for the last restart.
+        crash1 = TimelineEvent(0.1, "crash", {"node": 2})
+        restart1 = TimelineEvent(0.3, "restart", {"node": 2})
+        crash2 = TimelineEvent(0.5, "crash", {"node": 2})
+        restart2 = TimelineEvent(0.7, "restart", {"node": 2})
+        sc = scenario((crash1, restart1, crash2, restart2))
+        result = minimize_scenario(sc, predicate=needs(crash1, restart2))
+        assert result.scenario.fault_events == (crash1, restart2)
+
+
+class TestRebuild:
+    def test_orphaned_heal_pruned(self):
+        part = TimelineEvent(0.2, "partition_all",
+                             {"groups": [[1, 2], [3, 4]]})
+        heal = TimelineEvent(0.5, "heal_all", {})
+        sc = scenario((part, heal))
+        assert _rebuild(sc, [heal]).fault_events == ()
+        assert _rebuild(sc, [part, heal]).fault_events == (part, heal)
+
+    def test_orphaned_restore_pruned(self):
+        fault = loss(0.1, 1, 0.9)
+        restore = TimelineEvent(0.4, "restore_network", {"network": 1})
+        sc = scenario((fault, restore))
+        assert _rebuild(sc, [restore]).fault_events == ()
+        assert _rebuild(sc, [fault, restore]).fault_events == (fault, restore)
+
+    def test_restore_of_untouched_network_pruned(self):
+        fault = loss(0.1, 1, 0.9)
+        restore = TimelineEvent(0.4, "restore_network", {"network": 0})
+        sc = scenario((fault, restore))
+        # Network 0 was never disturbed: the restore is dead weight even
+        # with its neighbour fault kept.
+        assert _rebuild(sc, [fault, restore]).fault_events == (fault,)
+
+    def test_heal_kept_after_single_network_partition(self):
+        part = TimelineEvent(0.2, "partition",
+                             {"network": 0, "groups": [[1, 2], [3, 4]]})
+        heal = TimelineEvent(0.5, "heal_all", {})
+        sc = scenario((part, heal))
+        assert _rebuild(sc, [part, heal]).fault_events == (part, heal)
+
+    def test_fuzz_candidates_stay_valid_and_result_is_minimal(self):
+        """Random timelines, random required subsets: every candidate
+        `_rebuild` produces must pass DSL validation (construction raises
+        otherwise), required events always survive, and the final timeline
+        is 1-minimal under the predicate."""
+        rng = random.Random(7)
+        for _ in range(40):
+            events = []
+            at = 0.0
+            crashed = set()
+            for _ in range(rng.randrange(3, 11)):
+                at = round(at + rng.uniform(0.01, 0.08), 4)
+                kind = rng.choice(
+                    ["loss", "drop_frame", "partition_all", "heal_all",
+                     "restore_network", "crash", "restart"])
+                if kind == "restart" and not crashed:
+                    kind = "crash"
+                if kind == "loss":
+                    events.append(loss(at, rng.randrange(2),
+                                       round(rng.uniform(0.1, 0.9), 2)))
+                elif kind == "drop_frame":
+                    events.append(TimelineEvent(at, "drop_frame", {
+                        "network": rng.randrange(2),
+                        "src": rng.randrange(1, 5),
+                        "serial": rng.randrange(1, 4)}))
+                elif kind == "partition_all":
+                    events.append(TimelineEvent(
+                        at, "partition_all", {"groups": [[1, 2], [3, 4]]}))
+                elif kind == "heal_all":
+                    events.append(TimelineEvent(at, "heal_all", {}))
+                elif kind == "restore_network":
+                    events.append(TimelineEvent(
+                        at, "restore_network", {"network": rng.randrange(2)}))
+                elif kind == "crash":
+                    node = rng.randrange(1, 5)
+                    if node in crashed:
+                        continue
+                    crashed.add(node)
+                    events.append(TimelineEvent(at, "crash", {"node": node}))
+                else:
+                    node = rng.choice(sorted(crashed))
+                    crashed.discard(node)
+                    events.append(TimelineEvent(at, "restart", {"node": node}))
+            sc = scenario(tuple(events))
+            faults = list(sc.fault_events)
+            required = rng.sample(faults, rng.randrange(1, len(faults) + 1))
+
+            def predicate(candidate, required=required):
+                remaining = list(candidate.fault_events)
+                for event in required:
+                    if event in remaining:
+                        remaining.remove(event)
+                    else:
+                        return False
+                return True
+
+            if not predicate(_rebuild(sc, faults)):
+                # The required sample includes an event that is dead on the
+                # full timeline too (e.g. an orphaned heal); nothing to
+                # minimize.
+                continue
+            result = minimize_scenario(sc, predicate=predicate, max_runs=500)
+            assert predicate(result.scenario)
+            assert result.minimized_events == len(result.scenario.fault_events)
+            final = list(result.scenario.fault_events)
+            for i in range(len(final)):
+                candidate = _rebuild(
+                    result.scenario, final[:i] + final[i + 1:])
+                assert not predicate(candidate), (
+                    f"not 1-minimal: could drop {final[i]}")

@@ -290,3 +290,169 @@ class TestTombstoneCompaction:
         assert scheduler.compactions >= 1
         # Anything still queued can only be a leftover tombstone.
         assert scheduler.pending() == scheduler.dead_entries
+
+
+def _tombstones(scheduler):
+    return sum(1 for e in scheduler._heap if e[2] is None)
+
+
+class TestCancelAfterCompaction:
+    """cancel() must stay idempotent and accounting-safe once compaction
+    has physically removed the handle's tombstone from the heap."""
+
+    def test_double_cancel_of_compacted_handle(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 2
+        live = [scheduler.call_after(10.0 + i, lambda: None) for i in range(2)]
+        doomed = [scheduler.call_after(20.0 + i, lambda: None) for i in range(5)]
+        for timer in doomed:
+            timer.cancel()
+        assert scheduler.compactions >= 1
+        assert scheduler.dead_entries == _tombstones(scheduler)
+        # Compaction removed (most of) the tombstones from the heap;
+        # cancelling the same handles again must not drive the accounting
+        # negative or touch the heap.
+        before = scheduler.dead_entries
+        for timer in doomed:
+            timer.cancel()
+            timer.cancel()
+        assert scheduler.dead_entries == before
+        assert scheduler.dead_entries == _tombstones(scheduler)
+        assert scheduler.pending() - scheduler.dead_entries == len(live)
+        scheduler.run_until(100.0)
+        assert scheduler.dead_entries == 0
+
+    def test_cancel_fired_then_compact_then_cancel_again(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 1
+        fired = []
+        early = scheduler.call_after(0.1, fired.append, "early")
+        doomed = [scheduler.call_after(5.0 + i, lambda: None) for i in range(4)]
+        scheduler.run_until(0.5)
+        assert fired == ["early"]
+        for timer in doomed:
+            timer.cancel()
+        early.cancel()  # late cancel of a fired timer, after compaction
+        early.cancel()
+        assert scheduler.dead_entries == _tombstones(scheduler)
+        scheduler.run_until(10.0)
+        assert scheduler.dead_entries == 0
+        assert scheduler.pending() == 0
+
+    def test_dead_entries_matches_heap_tombstones(self):
+        """The accounting invariant: dead_entries == tombstones in heap."""
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 3
+        handles = [scheduler.call_after(1.0 + i, lambda: None)
+                   for i in range(20)]
+        for i, timer in enumerate(handles):
+            if i % 2:
+                timer.cancel()
+                timer.cancel()
+            assert scheduler.dead_entries == _tombstones(scheduler)
+            assert scheduler.dead_entries >= 0
+
+
+class TestExplorerHooks:
+    def test_ready_entries_orders_by_insertion(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(1.0, fired.append, "a")
+        scheduler.schedule(1.0, fired.append, "b")
+        scheduler.call_at(2.0, fired.append, "later")
+        ready = scheduler.ready_entries()
+        assert len(ready) == 2
+        assert [e[0] for e in ready] == [1.0, 1.0]
+        assert ready[0][1] < ready[1][1]
+
+    def test_ready_entries_skips_tombstones(self):
+        scheduler = EventScheduler()
+        doomed = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(1.0, lambda: None)
+        doomed.cancel()
+        assert len(scheduler.ready_entries()) == 1
+
+    def test_fire_entry_out_of_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(1.0, fired.append, "first-inserted")
+        scheduler.call_at(1.0, fired.append, "second-inserted")
+        ready = scheduler.ready_entries()
+        scheduler.fire_entry(ready[1])
+        assert fired == ["second-inserted"]
+        assert scheduler.now() == 1.0
+        # The fired entry is tombstoned; the default run drains the rest.
+        scheduler.run_until(2.0)
+        assert fired == ["second-inserted", "first-inserted"]
+        assert scheduler.dead_entries == 0
+
+    def test_fire_entry_matches_step_semantics(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(1.0, fired.append, "x")
+        scheduler.fire_entry(scheduler.ready_entries()[0])
+        assert fired == ["x"]
+        assert scheduler.events_processed == 1
+        assert not scheduler.step()
+
+    def test_fire_entry_rejects_dead_entry(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_at(1.0, lambda: None)
+        entry = scheduler.ready_entries()[0]
+        timer.cancel()
+        with pytest.raises(SimulationError):
+            scheduler.fire_entry(entry)
+
+    def test_fired_timer_handle_reads_inactive(self):
+        scheduler = EventScheduler()
+        timer = scheduler.call_at(1.0, lambda: None)
+        scheduler.fire_entry(scheduler.ready_entries()[0])
+        assert not timer.active
+        timer.cancel()  # must not double-count
+        assert scheduler.dead_entries <= 1
+        scheduler.run_until(2.0)
+        assert scheduler.dead_entries == 0
+
+    def test_discard_entry_drops_without_firing(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(1.0, fired.append, "dropped")
+        scheduler.call_at(1.0, fired.append, "kept")
+        scheduler.discard_entry(scheduler.ready_entries()[0])
+        scheduler.run_until(2.0)
+        assert fired == ["kept"]
+        assert scheduler.dead_entries == 0
+
+    def test_discard_entry_rejects_double_discard(self):
+        scheduler = EventScheduler()
+        scheduler.call_at(1.0, lambda: None)
+        entry = scheduler.ready_entries()[0]
+        scheduler.discard_entry(entry)
+        with pytest.raises(SimulationError):
+            scheduler.discard_entry(entry)
+
+    def test_fire_entry_interleaves_with_cancel_compaction(self):
+        scheduler = EventScheduler()
+        scheduler.compact_min_dead = 2
+        fired = []
+        doomed = [scheduler.call_after(50.0 + i, lambda: None)
+                  for i in range(6)]
+
+        def cancel_all():
+            fired.append("cancel")
+            for timer in doomed:
+                timer.cancel()
+
+        scheduler.call_at(1.0, cancel_all)
+        scheduler.call_at(1.0, fired.append, "peer")
+        ready = scheduler.ready_entries()
+        scheduler.fire_entry(ready[0])  # compacts mid-fire
+        assert scheduler.compactions >= 1
+        assert scheduler.dead_entries == _tombstones(scheduler)
+        scheduler.run_until(2.0)
+        assert fired == ["cancel", "peer"]
+        # Tombstones of far-future cancels surface (and drain) later.
+        assert scheduler.dead_entries == _tombstones(scheduler)
+        scheduler.run_until(100.0)
+        assert scheduler.dead_entries == 0
+        assert scheduler.pending() == 0
