@@ -65,6 +65,9 @@ class AsyncioRuntime:
                   *args: Any) -> _AsyncioTimer:
         return _AsyncioTimer(self._loop, delay, callback, args)
 
+    def post(self, callback: Callable[..., None], *args: Any) -> None:
+        self._loop.call_soon(callback, *args)
+
 
 class AsyncioTotemNode:
     """A complete Totem RRP node on real UDP sockets."""

@@ -123,6 +123,11 @@ class TotemNode:
         """Best-effort :meth:`submit`; returns False when the queue is full."""
         return self.srp.try_submit(payload)
 
+    def submit_many(self, payloads) -> int:
+        """Bulk :meth:`try_submit`; returns how many fit before the queue
+        filled.  Payloads must already be ``bytes``."""
+        return self.srp.submit_many(payloads)
+
     @property
     def delivered(self):
         """Messages delivered so far, in total order."""

@@ -103,7 +103,8 @@ def _run_gate(args: argparse.Namespace) -> int:
     from .gate import run_gate
     try:
         result = run_gate(output=args.output, baseline=args.baseline,
-                          enforce=not args.no_gate, quick=args.quick)
+                          enforce=not args.no_gate, quick=args.quick,
+                          enable_batching=not args.unbatched)
     except GateError as exc:
         print(f"GATE FAILED: {exc}", file=sys.stderr)
         return 1
@@ -144,6 +145,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     gate_group.add_argument("--no-gate", action="store_true",
                             help="gate: measure and report but never fail "
                                  "on regression")
+    gate_group.add_argument("--unbatched", action="store_true",
+                            help="gate: run the throughput workloads with "
+                                 "message batching disabled (the pre-batch "
+                                 "hot path)")
     args = parser.parse_args(argv)
     if args.target == "gate":
         return _run_gate(args)

@@ -53,15 +53,22 @@ def build_config(style: ReplicationStyle, num_nodes: int,
                  lan: Optional[LanConfig] = None,
                  seed: int = 1,
                  num_networks: Optional[int] = None,
-                 active_passive_k: int = 2) -> ClusterConfig:
-    """The standard benchmark cluster for a replication style."""
+                 active_passive_k: int = 2,
+                 enable_batching: bool = False) -> ClusterConfig:
+    """The standard benchmark cluster for a replication style.
+
+    ``enable_batching`` stays off for the figure sweeps (they reproduce the
+    paper's per-frame testbed); the perf gate turns it on to measure the
+    batched hot path.
+    """
     if num_networks is None:
         num_networks = {ReplicationStyle.NONE: 1,
                         ReplicationStyle.ACTIVE: 2,
                         ReplicationStyle.PASSIVE: 2,
                         ReplicationStyle.ACTIVE_PASSIVE: 3}[style]
     totem = TotemConfig(replication=style, num_networks=num_networks,
-                        active_passive_k=active_passive_k)
+                        active_passive_k=active_passive_k,
+                        enable_batching=enable_batching)
     return ClusterConfig(num_nodes=num_nodes, totem=totem,
                          lan=lan or LanConfig(), seed=seed)
 

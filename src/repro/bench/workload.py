@@ -58,11 +58,17 @@ class SaturatingWorkload:
     def _refill(self) -> None:
         if not self._running:
             return
+        target = self.queue_target
+        pad = self._pad
         for node_id in self.senders:
             node = self.cluster.nodes[node_id]
-            queue = node.srp.send_queue
-            while len(queue) < self.queue_target:
-                if not node.try_submit(self._payload(node_id)):
-                    break
-                self.sent[node_id] += 1
+            deficit = target - len(node.srp.send_queue)
+            if deficit > 0:
+                index = self.sent[node_id]
+                # Bulk top-up through the batch submission path: one queue
+                # capacity check per refill tick instead of one per message.
+                accepted = node.srp.submit_many(
+                    [(index + i).to_bytes(8, "big") + pad
+                     for i in range(deficit)])
+                self.sent[node_id] = index + accepted
         self.cluster.scheduler.call_after(self.refill_interval, self._refill)

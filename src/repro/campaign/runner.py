@@ -127,7 +127,8 @@ class _CompiledRun:
         config = ClusterConfig(
             num_nodes=scenario.num_nodes,
             totem=TotemConfig(replication=scenario.style,
-                              num_networks=scenario.num_networks),
+                              num_networks=scenario.num_networks,
+                              **dict(scenario.totem)),
             seed=scenario.seed,
             invariants=scenario.invariants,
             obs=obs)

@@ -40,9 +40,10 @@ Node-connectivity faults and churn (redundancy cannot mask these)::
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..config import TotemConfig
 from ..errors import ConfigError
 from ..types import ReplicationStyle
 
@@ -183,9 +184,24 @@ class Scenario:
     invariants: str = "off"
     events: Tuple[TimelineEvent, ...] = ()
     notes: str = ""
+    #: Protocol-engine overrides applied on top of the scenario's style and
+    #: network count — any :class:`~repro.config.TotemConfig` field except
+    #: the two the scenario already owns (``replication``,
+    #: ``num_networks``).  Lets a case file exercise alternative hot-path
+    #: configurations, e.g. ``{"enable_batching": true}``.
+    totem: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "totem", dict(self.totem))
+        allowed = ({f.name for f in dataclass_fields(TotemConfig)}
+                   - {"replication", "num_networks"})
+        unknown = set(self.totem) - allowed
+        if unknown:
+            raise ConfigError(
+                f"unknown totem override(s) {sorted(unknown)} "
+                f"(scenario-owned fields replication/num_networks are "
+                f"set via 'style'/'num_networks')")
         if self.num_networks is None:
             object.__setattr__(self, "num_networks",
                                STYLE_NETWORKS[self.style])
@@ -303,6 +319,7 @@ class Scenario:
             "smr": self.smr,
             "invariants": self.invariants,
             "notes": self.notes,
+            "totem": dict(self.totem),
             "events": [event.to_dict() for event in self.events],
         }
 
@@ -322,7 +339,7 @@ class Scenario:
             raise ConfigError(f"unknown replication style {data.get('style')!r}")
         known = {"schema", "name", "style", "seed", "num_nodes",
                  "num_networks", "duration", "settle", "smr", "invariants",
-                 "notes", "events"}
+                 "notes", "totem", "events"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown scenario field(s) {sorted(unknown)}")
@@ -339,6 +356,7 @@ class Scenario:
             smr=bool(data.get("smr", True)),
             invariants=data.get("invariants", "off"),
             notes=data.get("notes", ""),
+            totem=dict(data.get("totem", {})),
             events=tuple(TimelineEvent.from_dict(entry)
                          for entry in data.get("events", ())),
         )

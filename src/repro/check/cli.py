@@ -91,7 +91,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         max_depth=args.max_depth, fault_budget=args.budget,
         faults=tuple(args.faults), drop_kinds=tuple(args.drop_kinds),
         por=not args.no_por, max_states=args.max_states,
-        time_limit=args.time_limit, export_dir=args.export_dir)
+        time_limit=args.time_limit, export_dir=args.export_dir,
+        batching=args.batching)
     with apply_mutation(args.mutate):
         report = explore(options)
     print(report.render())
@@ -185,6 +186,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              default=500_000)
     explore_cmd.add_argument("--time-limit", type=float, default=0.0,
                              help="wall-clock cap in seconds (0 = none)")
+    explore_cmd.add_argument("--batching", action="store_true",
+                             help="explore the batched send path (frame "
+                                  "trains) instead of per-frame broadcasts")
     explore_cmd.add_argument("--export-dir", default=None,
                              help="write violating paths here as campaign "
                                   "scenarios + decision traces")

@@ -26,9 +26,10 @@ from typing import Tuple
 from ..net.stack import _DefaultRecvCost, _PortDeliver, _RecvJobCost
 from ..types import Membership, RingId
 from ..wire.codec import encode_packet
-from ..wire.packets import CommitToken, DataPacket, JoinMessage, Token
+from ..wire.packets import (BatchPacket, CommitToken, DataPacket,
+                            JoinMessage, Token)
 
-_PACKETS = (DataPacket, Token, JoinMessage, CommitToken)
+_PACKETS = (DataPacket, BatchPacket, Token, JoinMessage, CommitToken)
 
 #: Attributes probed (in order) to attribute a callback to its owning actor.
 _OWNER_ATTRS = ("node_id", "node", "_node", "index")

@@ -107,6 +107,9 @@ DROP_KINDS = ("data", "token", "join", "commit")
 
 _PACKET_KIND = {
     "DataPacket": "data",
+    # A batch frame train is data traffic: dropping it loses every carried
+    # packet at once (one loss draw per frame, exactly like the real LAN).
+    "BatchPacket": "data",
     "Token": "token",
     "JoinMessage": "join",
     "CommitToken": "commit",
@@ -140,6 +143,9 @@ class ExploreOptions:
     time_limit: float = 0.0
     msg_size: int = 64
     export_dir: Optional[str] = None
+    #: Explore the batched send path (one frame train per token visit)
+    #: instead of per-frame broadcasts.  Default off, matching TotemConfig.
+    batching: bool = False
 
     def validate(self) -> None:
         if self.nodes < 2:
@@ -335,7 +341,8 @@ class Explorer:
         o = self.o
         return ClusterConfig(
             num_nodes=o.nodes,
-            totem=TotemConfig(num_networks=o.networks, replication=o.style),
+            totem=TotemConfig(num_networks=o.networks, replication=o.style,
+                              enable_batching=o.batching),
             lan=LanConfig(loss_rate=0.0),
             seed=o.seed,
             invariants="observe",

@@ -36,7 +36,7 @@ from ..core.base import SingleNetwork
 from ..core.passive import PassiveReplication
 from ..errors import InvariantViolationError
 from ..types import NodeId, RingId, SeqNum, TIMEOUT_NETWORK
-from ..wire.packets import DataPacket, Token
+from ..wire.packets import BatchPacket, DataPacket, Token
 
 #: Rule catalogue: id -> (paper requirement(s), one-line statement).
 #: docs/INVARIANTS.md expands each entry with its soundness argument.
@@ -334,10 +334,19 @@ class InvariantChecker:
 
     def _on_frame_scheduled(self, network: int, src: NodeId, dst: NodeId,
                             packet, arrival: float) -> None:
-        if not isinstance(packet, DataPacket):
+        if isinstance(packet, BatchPacket):
+            # Every packet carried by the frame train is in flight: a
+            # retransmission request for any of them while the batch is on
+            # an operational wire is the same A2/P1 violation.
+            entries = self._in_flight.setdefault(dst, [])
+            ring_id = packet.ring_id
+            for sub in packet.packets:
+                entries.append((arrival, network, ring_id, sub.seq))
+        elif isinstance(packet, DataPacket):
+            entries = self._in_flight.setdefault(dst, [])
+            entries.append((arrival, network, packet.ring_id, packet.seq))
+        else:
             return
-        entries = self._in_flight.setdefault(dst, [])
-        entries.append((arrival, network, packet.ring_id, packet.seq))
         if len(entries) > self._PRUNE_THRESHOLD:
             now = self._now()
             self._in_flight[dst] = [e for e in entries if e[0] > now]

@@ -97,6 +97,14 @@ class TotemConfig:
     max_packet_payload: int = 1424
     #: Whether to pack several small application messages into one packet.
     enable_packing: bool = True
+    #: Whether a token visit's freshly sequenced packets are broadcast as a
+    #: single :class:`~repro.wire.packets.BatchPacket` frame train instead
+    #: of one frame per packet.  Amortises per-frame CPU and framing costs
+    #: (the Ring-Paxos-style batching lever); delivery order and content
+    #: are identical either way.  Off by default: seed-pinned campaign
+    #: replays and explorer digests predate batch frames, and single-frame
+    #: traffic keeps fault granularity at one packet per loss draw.
+    enable_batching: bool = False
     #: When True, hold message delivery until the message is *safe* (known
     #: received by every ring member) instead of delivering in agreed order.
     safe_delivery: bool = False

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..types import NodeId, TIMEOUT_NETWORK
-from ..wire.packets import DataPacket, Token
+from ..wire.packets import BatchPacket, DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import ProblemCounterMonitor
 
@@ -75,6 +75,13 @@ class ActiveReplication(ReplicationEngine):
         self.stats.data_sends += 1
         for i in self.faults.operational_networks:
             self.stack.broadcast(i, packet)
+
+    def broadcast_batch(self, batch: BatchPacket) -> None:
+        # The whole frame train is replicated like any data frame; the SRP's
+        # per-packet sequence filter destroys the duplicate copies (A1).
+        self.stats.data_sends += 1
+        for i in self.faults.operational_networks:
+            self.stack.broadcast(i, batch)
 
     def send_token(self, token: Token, dest: NodeId) -> None:
         self.stats.token_sends += 1

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..types import NodeId, TIMEOUT_NETWORK
-from ..wire.packets import DataPacket, Token
+from ..wire.packets import BatchPacket, DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import RecvCountMonitor
 
@@ -127,6 +127,16 @@ class ActivePassiveReplication(ReplicationEngine):
         if window:
             self._send_message_via = window[-1]
 
+    def broadcast_batch(self, batch: BatchPacket) -> None:
+        # K copies of the whole frame train, advancing the same window as a
+        # single data frame would.
+        self.stats.data_sends += 1
+        window = self._window(self._send_message_via)
+        for i in window:
+            self.stack.broadcast(i, batch)
+        if window:
+            self._send_message_via = window[-1]
+
     def send_token(self, token: Token, dest: NodeId) -> None:
         self.stats.token_sends += 1
         window = self._window(self._send_token_via)
@@ -142,6 +152,24 @@ class ActivePassiveReplication(ReplicationEngine):
         self.srp.on_data(packet, network)
         if not duplicate:
             self._message_monitor(packet.sender).record(network)
+        buffered = self._buffered_token
+        if (buffered is not None
+                and not self.srp.has_gaps_up_to(buffered.seq)):
+            self._release_buffered(network)
+
+    def recv_batch(self, batch: BatchPacket, network: int) -> None:
+        # Same shape as passive replication's batch receive: monitor records
+        # once per frame, and the gap-closure check is posted so it runs
+        # after the SRP's per-packet applies from this frame train.
+        duplicate = self.srp.is_duplicate_batch(batch)
+        self.srp.on_batch(batch, network)
+        if not duplicate:
+            self._message_monitor(batch.sender).record(network)
+        self.runtime.post(self._check_gap_closed, network)
+
+    def _check_gap_closed(self, network: int) -> None:
+        if self._stopped:
+            return
         buffered = self._buffered_token
         if (buffered is not None
                 and not self.srp.has_gaps_up_to(buffered.seq)):

@@ -24,6 +24,7 @@ from ..sim.runtime import Runtime
 from ..types import FaultReportFn, NodeId
 from ..wire.packets import (
     FLAG_LAST,
+    BatchPacket,
     CommitToken,
     DataPacket,
     JoinMessage,
@@ -168,6 +169,20 @@ class ReplicationEngine:
                     completed += 1
             return (lan.cpu_per_recv + lan.cpu_per_byte_recv * size
                     + lan.cpu_per_msg * completed)
+        if isinstance(packet, BatchPacket):
+            # One stack traversal for the whole frame train: the per-frame
+            # fixed receive cost is paid once, only per-message protocol
+            # work still scales with the batch contents.  This is exactly
+            # the CPU amortisation batching exists to buy.
+            if self._srp is not None and self._srp.is_duplicate_batch(packet):
+                return lan.cpu_per_dup_recv + lan.cpu_per_byte_dup * size
+            completed = 0
+            for sub in packet.packets:
+                for chunk in sub.chunks:
+                    if chunk.flags & FLAG_LAST:
+                        completed += 1
+            return (lan.cpu_per_recv + lan.cpu_per_byte_recv * size
+                    + lan.cpu_per_msg * completed)
         return lan.cpu_per_recv + lan.cpu_per_byte_recv * size
 
     # ----- upward dispatch (NetworkStack handler) -----
@@ -187,6 +202,8 @@ class ReplicationEngine:
         cls = type(packet)
         if cls is DataPacket:
             self.recv_data(packet, network)
+        elif cls is BatchPacket:
+            self.recv_batch(packet, network)
         elif cls is Token:
             if self.probe is not None:
                 self.probe.engine_recv_token(packet, network)
@@ -202,6 +219,8 @@ class ReplicationEngine:
             ptype = packet_type_of(packet)
             if ptype is PacketType.DATA:
                 self.recv_data(packet, network)  # type: ignore[arg-type]
+            elif ptype is PacketType.BATCH:
+                self.recv_batch(packet, network)  # type: ignore[arg-type]
             elif ptype is PacketType.TOKEN:
                 if self.probe is not None:
                     self.probe.engine_recv_token(packet, network)
@@ -216,12 +235,25 @@ class ReplicationEngine:
     def recv_data(self, packet: DataPacket, network: int) -> None:
         raise NotImplementedError
 
+    def recv_batch(self, batch: BatchPacket, network: int) -> None:
+        """Default batch receive: hand the frame train to the SRP.
+
+        The SRP posts one apply per carried packet, so ordering, duplicate
+        filtering and delivery run through the exact same per-packet code as
+        unbatched traffic.  Styles that observe data arrivals (the passive
+        family's monitors and gap-closure check) override this.
+        """
+        self.srp.on_batch(batch, network)
+
     def recv_token(self, token: Token, network: int) -> None:
         raise NotImplementedError
 
     # ----- RingTransport (style-specific sends) -----
 
     def broadcast_data(self, packet: DataPacket) -> None:
+        raise NotImplementedError
+
+    def broadcast_batch(self, batch: BatchPacket) -> None:
         raise NotImplementedError
 
     def send_token(self, token: Token, dest: NodeId) -> None:
@@ -288,6 +320,10 @@ class SingleNetwork(ReplicationEngine):
     def broadcast_data(self, packet: DataPacket) -> None:
         self.stats.data_sends += 1
         self.stack.broadcast(0, packet)
+
+    def broadcast_batch(self, batch: BatchPacket) -> None:
+        self.stats.data_sends += 1
+        self.stack.broadcast(0, batch)
 
     def send_token(self, token: Token, dest: NodeId) -> None:
         self.stats.token_sends += 1

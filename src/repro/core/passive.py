@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..types import NodeId, TIMEOUT_NETWORK
-from ..wire.packets import DataPacket, Token
+from ..wire.packets import BatchPacket, DataPacket, Token
 from .base import ReplicationEngine
 from .monitor import RecvCountMonitor
 
@@ -105,6 +105,12 @@ class PassiveReplication(ReplicationEngine):
         self._send_message_via = self._next_network(self._send_message_via)
         self.stack.broadcast(self._send_message_via, packet)
 
+    def broadcast_batch(self, batch: BatchPacket) -> None:
+        # One round-robin slot per frame train, exactly as for one frame.
+        self.stats.data_sends += 1
+        self._send_message_via = self._next_network(self._send_message_via)
+        self.stack.broadcast(self._send_message_via, batch)
+
     def send_token(self, token: Token, dest: NodeId) -> None:
         self.stats.token_sends += 1
         self._send_token_via = self._next_network(self._send_token_via)
@@ -122,6 +128,29 @@ class PassiveReplication(ReplicationEngine):
             self._message_monitor(packet.sender).record(network)
         # Latency optimisation from §6: this message may have been the last
         # gap blocking a buffered token.
+        buffered = self._buffered_token
+        if (buffered is not None
+                and not self.srp.has_gaps_up_to(buffered.seq)):
+            self._release_buffered(network)
+
+    def recv_batch(self, batch: BatchPacket, network: int) -> None:
+        duplicate = self.srp.is_duplicate_batch(batch)
+        self.srp.on_batch(batch, network)
+        if not duplicate:
+            # One frame arrived on this network; the monitor counts frames,
+            # not carried packets, so a batch records once (all nodes batch
+            # identically, so the per-network comparison stays symmetric).
+            self._message_monitor(batch.sender).record(network)
+        # The per-packet applies were *posted*, not run: the §6 gap-closure
+        # check must observe the SRP after they land, so it is posted too
+        # (FIFO order puts it behind every apply from this frame).
+        self.runtime.post(self._check_gap_closed, network)
+
+    def _check_gap_closed(self, network: int) -> None:
+        """Posted after a batch's applies: release the buffered token if the
+        batch closed its last gap (the recv_data latency optimisation)."""
+        if self._stopped:
+            return
         buffered = self._buffered_token
         if (buffered is not None
                 and not self.srp.has_gaps_up_to(buffered.seq)):

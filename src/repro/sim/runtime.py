@@ -37,12 +37,24 @@ class Runtime(Protocol):
         """Invoke ``callback(*args)`` after ``delay`` seconds."""
         ...
 
+    def post(self, callback: Callable[..., None], *args: Any) -> None:
+        """Invoke ``callback(*args)`` as soon as the current event finishes.
+
+        Posted callbacks run at the current time, in FIFO order, before any
+        later-scheduled event; they cannot be cancelled.  The batch receive
+        path posts one apply per carried packet so a frame train dispatches
+        as a burst of cheap same-timestamp events.
+        """
+        ...
+
 
 class SimRuntime:
     """A :class:`Runtime` backed by the discrete-event scheduler."""
 
     def __init__(self, scheduler: EventScheduler) -> None:
         self._scheduler = scheduler
+        #: Bound straight through: ``post`` sits on the batch hot path.
+        self.post = scheduler.schedule_now
 
     def now(self) -> float:
         return self._scheduler.now()

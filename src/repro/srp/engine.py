@@ -49,6 +49,8 @@ from ..types import (
 )
 from ..wire.codec import decode_packet, encode_packet
 from ..wire.packets import (
+    BATCH_MAX_PACKETS,
+    BatchPacket,
     CHUNK_HEADER_BYTES,
     Chunk,
     ChunkFlags,
@@ -70,6 +72,8 @@ class RingTransport(Protocol):
     """What the SRP needs from the layer below (the RRP or a single LAN)."""
 
     def broadcast_data(self, packet: DataPacket) -> None: ...
+
+    def broadcast_batch(self, batch: BatchPacket) -> None: ...
 
     def send_token(self, token: Token, dest: NodeId) -> None: ...
 
@@ -152,12 +156,25 @@ class TotemSrp:
         self.stats = SrpStats()
 
         # ----- operational (current ring) state -----
+        #: RingId instances known value-equal to :attr:`ring_id` (other
+        #: members' copies), memoized by :meth:`_buffer_for_ring`.
+        self._ring_aliases: dict = {}
         self.recv_buffer = ReceiveBuffer()
         self._delivered_seq: SeqNum = 0
         self._reassembler = Reassembler()
         self.send_queue = SendQueue(config.send_queue_capacity)
         self._packer = Packer(self.send_queue, config.max_packet_payload,
                               config.enable_packing)
+        self._batching = config.enable_batching
+        #: Sequence numbers of batched packets posted for apply but not yet
+        #: applied — the duplicate filter's view of the in-between moment
+        #: when a train has been dispatched but its micro-events are queued.
+        #: Keyed by bare seq: posted applies drain before the next heap
+        #: event, so the set is only ever non-empty within a single event
+        #: window, where all trains carry current-timestamp traffic.  The
+        #: worst a ring collision can do is misprice a straggler old-ring
+        #: train in the CPU cost model — the apply path re-checks everything.
+        self._pending_applies: set = set()
         self._flow = FlowController(config.window_size,
                                     config.max_messages_per_token)
         self._last_token: Optional[Token] = None
@@ -200,6 +217,11 @@ class TotemSrp:
         #: Nodes whose joins accused us of failure, with ignore-until times.
         self._quarantine: Dict[NodeId, float] = {}
         self._started = False
+        #: Set by :meth:`stop`; posted batch applies check it because they
+        #: run *after* the event that posted them — an incarnation can die
+        #: between a batch frame's arrival and its applies (the lifecycle
+        #: class `repro.check explore` found in the engine layer).
+        self._stopped = False
 
     # ------------------------------------------------------------------
     # public API
@@ -239,6 +261,7 @@ class TotemSrp:
         further events can reach a stopped engine — its network attachments
         are gone and all self-rescheduling timers are cancelled here.
         """
+        self._stopped = True
         self._cancel_token_retrans_timer()
         self._cancel_token_loss_timer()
         self._cancel_membership_timers()
@@ -345,6 +368,14 @@ class TotemSrp:
         self.stats.msgs_submitted += 1
         return True
 
+    def submit_many(self, payloads: Sequence[bytes]) -> int:
+        """Queue messages in bulk; returns how many fit before the queue
+        filled.  Payloads must already be ``bytes`` (no defensive copy —
+        this is the saturating-workload refill path)."""
+        accepted = self.send_queue.enqueue_many(payloads)
+        self.stats.msgs_submitted += accepted
+        return accepted
+
     @property
     def send_queue_depth(self) -> int:
         """Messages waiting for the token (the obs layer samples this)."""
@@ -373,12 +404,43 @@ class TotemSrp:
         buffer = self._buffer_for_ring(packet.ring_id)
         return buffer is not None and buffer.has(packet.seq)
 
+    def is_duplicate_batch(self, batch: BatchPacket) -> bool:
+        """Whether every packet of ``batch`` would be discarded as received.
+
+        The CPU cost model's batch analogue of :meth:`is_duplicate_data`:
+        a redundant-network copy of a batch whose packets all landed
+        already is dropped after the sequence checks, without ordering or
+        delivery work.
+        """
+        buffer = self._buffer_for_ring(batch.ring_id)
+        if buffer is None:
+            return False
+        has = buffer.has
+        pending = self._pending_applies
+        for packet in batch.packets:
+            # A packet counts as seen once it is buffered *or* queued for
+            # apply: copies of one train arrive on the redundant networks
+            # within the same timestamp, before the first copy's posted
+            # applies have run.
+            if not has(packet.seq) and packet.seq not in pending:
+                return False
+        return True
+
     # ------------------------------------------------------------------
     # receive entry points (called by the RRP layer below)
     # ------------------------------------------------------------------
 
-    def on_data(self, packet: DataPacket, network: int = 0) -> None:
-        """A data packet arrived (possibly a duplicate or a retransmission)."""
+    def on_data(self, packet: DataPacket, network: int = 0,
+                deliver: bool = True) -> None:
+        """A data packet arrived (possibly a duplicate or a retransmission).
+
+        ``deliver=False`` skips the delivery attempt after a successful
+        insert (everything else — duplicate filter, token-retransmit
+        evidence, recovery absorption — is unchanged); the batch apply path
+        uses it to run one delivery pass per frame train instead of one per
+        packet.  Delivery is always in sequence order from the contiguous
+        front, so coalescing the passes cannot change the delivery log.
+        """
         self.stats.packets_received += 1
         buffer = self._buffer_for_ring(packet.ring_id)
         if buffer is None:
@@ -401,13 +463,58 @@ class TotemSrp:
                 self._cancel_token_retrans_timer()
             if self.state is SrpState.RECOVERY:
                 self._absorb_recovery_progress()
-            else:
+            elif deliver:
                 self._try_deliver()
         else:
             # A straggler for the previous ring while we are re-forming:
             # keep it (it reduces recovery work) and deliver what it unblocks.
-            if self.state is not SrpState.RECOVERY:
+            if deliver and self.state is not SrpState.RECOVERY:
                 self._try_deliver()
+
+    def on_batch(self, batch: BatchPacket, network: int = 0) -> None:
+        """A batch frame arrived: unpack it into per-packet applies.
+
+        Each carried packet goes through the ordinary :meth:`on_data` path —
+        same duplicate filter, retransmit-evidence check, delivery loop and
+        statistics — so batched and unbatched operation produce identical
+        delivery logs.  The applies are posted as individual micro-events
+        rather than run inline: the scheduler dispatches the train through
+        its vectorized same-timestamp queue, keeping one (cheap) event per
+        packet instead of one heavyweight event per batch.
+        """
+        post = self.runtime.post
+        apply_one = self._apply_batched_packet
+        pending = self._pending_applies
+        posted = 0
+        for packet in batch.packets:
+            seq = packet.seq
+            if seq in pending:
+                # An identical copy is already queued for apply (a redundant
+                # network's train dispatched within the same callback);
+                # within one ring, seq names the packet's content, so
+                # re-posting would only duplicate the apply.
+                continue
+            pending.add(seq)
+            post(apply_one, packet, network)
+            posted += 1
+        if posted:
+            post(self._deliver_after_batch)
+
+    def _apply_batched_packet(self, packet: DataPacket, network: int) -> None:
+        self._pending_applies.discard(packet.seq)
+        if self._stopped:
+            # The incarnation was stopped between the batch frame's arrival
+            # and this posted apply: a dead process must not touch buffers
+            # or re-arm timers.
+            return
+        self.on_data(packet, network, deliver=False)
+
+    def _deliver_after_batch(self) -> None:
+        """Posted behind a train's applies: one delivery pass for all of it."""
+        if self._stopped:
+            return
+        if self.state is not SrpState.RECOVERY:
+            self._try_deliver()
 
     def on_token(self, token: Token, network: int = 0) -> None:
         """The regular token arrived (the RRP has already merged copies).
@@ -416,17 +523,60 @@ class TotemSrp:
         on, or :data:`~repro.types.TIMEOUT_NETWORK` when the RRP released
         the token on a timer expiry; it is observability-only and must never
         be used to index per-network state.
+
+        A token visit is a fixed pipeline of named, individually drivable
+        stages (each takes the working token copy and mutates it/engine
+        state; unit tests and the model checker can run one at a time):
+
+        1. :meth:`stage_token_receive` — filter, dedup, bookkeep, copy;
+        2. :meth:`stage_retransmit_serve` — rebroadcast requested packets;
+        3. :meth:`stage_aru_update` — fold my aru into the token;
+        4. :meth:`stage_retransmit_request` — append my gaps to ``rtr``;
+        5. :meth:`_recovery_token_step` — (RECOVERY only) old-ring exchange;
+        6. :meth:`stage_dequeue_pack` — drain the send queue under flow
+           control, broadcasting new packets (batched when enabled) and
+           delivering what they unblock;
+        7. :meth:`stage_stability_update` — advance the stable watermark;
+        8. :meth:`stage_token_forward` — send to the successor, arm timers.
+        """
+        token = self.stage_token_receive(token, network)
+        if token is None:
+            return
+        self.stage_retransmit_serve(token)
+        self.stage_aru_update(token)
+        self.stage_retransmit_request(token)
+        if self.state is SrpState.RECOVERY:
+            self._recovery_token_step(token)
+        if self.state is not SrpState.RECOVERY:
+            # OPERATIONAL — possibly just transitioned by the recovery step.
+            self.stage_dequeue_pack(token)
+            if token.done_count < 2 * len(self.membership):
+                token.done_count += 1
+        self.stage_stability_update(token)
+        if self.node_id == self.ring_id.representative:
+            token.rotation += 1
+        self.stage_token_forward(token)
+
+    def stage_token_receive(self, token: Token,
+                            network: int = 0) -> Optional[Token]:
+        """Token-receive stage: accept or reject the arriving token.
+
+        Applies the ring/state filters and the duplicate-stamp check,
+        records rotation timing, cancels the retransmit/loss timers, and
+        returns a private working copy for the rest of the pipeline —
+        or None when the token is rejected (foreign ring, membership in
+        progress, or a stamp we already accepted).
         """
         if self.probe is not None:
             self.probe.srp_token_up(token, network)
         if token.ring_id != self.ring_id:
-            return
+            return None
         if self.state not in (SrpState.OPERATIONAL, SrpState.RECOVERY):
-            return
+            return None
         stamp = token.stamp
         if stamp <= self._last_accepted_stamp:
             self.stats.duplicate_tokens += 1
-            return
+            return None
         self._last_accepted_stamp = stamp
         self.stats.tokens_accepted += 1
         if self.probe is not None:
@@ -443,22 +593,7 @@ class TotemSrp:
         self._last_token_accept_time = now
         self._cancel_token_retrans_timer()
         self._cancel_token_loss_timer()
-
-        token = token.copy()
-        self._service_retransmissions(token)
-        self._update_aru(token)
-        self._request_missing(token)
-        if self.state is SrpState.RECOVERY:
-            self._recovery_token_step(token)
-        if self.state is not SrpState.RECOVERY:
-            # OPERATIONAL — possibly just transitioned by the recovery step.
-            self._broadcast_new_messages(token)
-            if token.done_count < 2 * len(self.membership):
-                token.done_count += 1
-        self._update_stability(token)
-        if self.node_id == self.ring_id.representative:
-            token.rotation += 1
-        self._forward_token(token)
+        return token.copy()
 
     def on_join(self, join: JoinMessage, network: int = 0) -> None:
         """A membership join message arrived."""
@@ -586,19 +721,29 @@ class TotemSrp:
     # ------------------------------------------------------------------
 
     def _buffer_for_ring(self, ring_id: RingId) -> Optional[ReceiveBuffer]:
-        # Identity first: in the simulator every node on a ring shares the
-        # RingId object installed by the commit token, so the dataclass
-        # field comparison is only paid on ring boundaries.
+        # Identity first: every member stamps outgoing packets with its own
+        # RingId instance, so value-equal copies of the current ring arrive
+        # under a handful of distinct identities (one per member).  Each is
+        # memoized on its first field comparison, turning the per-packet
+        # dataclass ``==`` into a single dict probe (the memo holds the
+        # objects themselves, so their ids cannot be recycled).
         my_ring = self.ring_id
-        if ring_id is my_ring or ring_id == my_ring:
+        if ring_id is my_ring or id(ring_id) in self._ring_aliases:
+            return self.recv_buffer
+        if ring_id == my_ring:
+            self._ring_aliases[id(ring_id)] = ring_id
             return self.recv_buffer
         old_ring = self._old_ring
         if old_ring is not None and (ring_id is old_ring or ring_id == old_ring):
             return self._old_buffer
         return None
 
-    def _service_retransmissions(self, token: Token) -> None:
-        """Rebroadcast requested packets we hold; drop served/stale requests."""
+    def stage_retransmit_serve(self, token: Token) -> None:
+        """Rebroadcast requested packets we hold; drop served/stale requests.
+
+        Retransmissions always travel as plain data frames (never batched):
+        they heal gaps, and per-frame loss granularity matters there.
+        """
         if not token.rtr:
             return
         remaining: List[SeqNum] = []
@@ -613,7 +758,8 @@ class TotemSrp:
                 remaining.append(seq)
         token.rtr = remaining
 
-    def _update_aru(self, token: Token) -> None:
+    def stage_aru_update(self, token: Token) -> None:
+        """Fold my all-received-up-to into the token's aru consensus."""
         my_aru = self.recv_buffer.my_aru
         if my_aru < token.aru:
             token.aru = my_aru
@@ -623,7 +769,8 @@ class TotemSrp:
         if token.aru > token.seq:
             token.aru = token.seq
 
-    def _request_missing(self, token: Token) -> None:
+    def stage_retransmit_request(self, token: Token) -> None:
+        """Append my sequence gaps to the token's retransmission list."""
         if not self.recv_buffer.has_gaps_up_to(token.seq):
             return
         present = set(token.rtr)
@@ -637,8 +784,26 @@ class TotemSrp:
                 if self.probe is not None:
                     self.probe.retransmission_requested(self.ring_id, seq)
 
-    def _broadcast_new_messages(self, token: Token) -> None:
+    def stage_dequeue_pack(self, token: Token) -> None:
+        """Dequeue/pack stage: drain the send queue under flow control.
+
+        Every packet is stamped from the token's sequence counter and
+        self-inserted before broadcast.  With batching enabled the visit's
+        packets leave as one :class:`BatchPacket` frame train (a single
+        transport call and one CPU send per network); a single packet —
+        and all unbatched operation — takes the plain per-frame path, so
+        the latency profile of light traffic is unchanged.
+        """
         allowance = self._flow.allowance(token)
+        if self._batching and allowance > 1:
+            sent = self._broadcast_batched(token, allowance)
+        else:
+            sent = self._broadcast_singles(token, allowance)
+        self._flow.update(token, sent, backlog=self._packer.backlog())
+        if sent:
+            self._try_deliver()
+
+    def _broadcast_singles(self, token: Token, allowance: int) -> int:
         sent = 0
         while sent < allowance:
             chunks = self._packer.next_packet_chunks()
@@ -651,11 +816,34 @@ class TotemSrp:
             self.transport.broadcast_data(packet)
             self.stats.packets_broadcast += 1
             sent += 1
-        self._flow.update(token, sent, backlog=self._packer.backlog())
-        if sent:
-            self._try_deliver()
+        return sent
 
-    def _update_stability(self, token: Token) -> None:
+    def _broadcast_batched(self, token: Token, allowance: int) -> int:
+        chunk_lists = self._packer.next_batch(
+            allowance if allowance < BATCH_MAX_PACKETS else BATCH_MAX_PACKETS)
+        if not chunk_lists:
+            return 0
+        node_id = self.node_id
+        ring_id = self.ring_id
+        seq = token.seq
+        insert = self.recv_buffer.insert
+        packets = []
+        for chunks in chunk_lists:
+            seq += 1
+            packet = DataPacket(sender=node_id, ring_id=ring_id, seq=seq,
+                                chunks=tuple(chunks))
+            insert(packet)
+            packets.append(packet)
+        token.seq = seq
+        self.stats.packets_broadcast += len(packets)
+        if len(packets) == 1:
+            self.transport.broadcast_data(packets[0])
+        else:
+            self.transport.broadcast_batch(BatchPacket(packets=tuple(packets)))
+        return len(packets)
+
+    def stage_stability_update(self, token: Token) -> None:
+        """Advance the stable watermark from two rotations of aru values."""
         stable = min(self._prev_token_aru, token.aru)
         if stable > self._stable_seq:
             self._stable_seq = stable
@@ -668,13 +856,23 @@ class TotemSrp:
                 min(self._stable_seq, self._delivered_seq))
         self._prev_token_aru = token.aru
 
-    def _forward_token(self, token: Token) -> None:
+    def stage_token_forward(self, token: Token) -> None:
+        """Send the updated token to the successor and re-arm the timers."""
         self._last_token = token
         dest = self._current_successor()
         self.stats.tokens_sent += 1
         self.transport.send_token(token, dest)
         self._restart_token_retrans_timer()
         self._restart_token_loss_timer()
+
+    def stage_deliver(self) -> None:
+        """Deliver stage: hand contiguous packets up to the application.
+
+        Thin named wrapper over :meth:`_try_deliver` (which stays the
+        internal entry point so existing instrumentation — e.g. the
+        explorer's eager-delivery mutation — keeps patching one place).
+        """
+        self._try_deliver()
 
     def _try_deliver(self) -> None:
         """Deliver contiguous packets (agreed order; safe order if configured)."""
@@ -710,8 +908,7 @@ class TotemSrp:
             stats.msgs_delivered += 1
             stats.bytes_delivered += len(payload)
             on_deliver(DeliveredMessage(
-                sender=sender, seq=seq, payload=payload,
-                ring_id=ring_id, safe=safe, delivered_in=delivered_in))
+                sender, seq, payload, ring_id, safe, delivered_in))
 
     # ------------------------------------------------------------------
     # timers
@@ -952,6 +1149,7 @@ class TotemSrp:
 
         # Fresh context for the new ring.
         self.ring_id = commit.ring_id
+        self._ring_aliases.clear()
         self._pending_membership = new_members
         self.recv_buffer = ReceiveBuffer()
         self._delivered_seq = 0
@@ -1135,6 +1333,7 @@ class TotemSrp:
 
     def _install_ring(self, ring_id: RingId, members: Tuple[NodeId, ...]) -> None:
         self.ring_id = ring_id
+        self._ring_aliases.clear()
         self.membership = Membership(ring_id, members)
         self._pending_membership = None
         self._highest_ring_seq = max(self._highest_ring_seq, ring_id.seq)

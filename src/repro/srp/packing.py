@@ -105,6 +105,22 @@ class Packer:
             break
         return chunks
 
+    def next_batch(self, max_packets: int) -> List[List[Chunk]]:
+        """Chunk lists for up to ``max_packets`` packets in one call.
+
+        The token-visit coalescing path: everything pending (within the
+        caller's flow-control allowance) is drained into consecutive packet
+        payloads, which the SRP then broadcasts as one batch frame train.
+        Returns an empty list when nothing is pending.
+        """
+        batch: List[List[Chunk]] = []
+        while len(batch) < max_packets:
+            chunks = self.next_packet_chunks()
+            if not chunks:
+                break
+            batch.append(chunks)
+        return batch
+
     def digest_state(self) -> Tuple:
         """Canonical state tuple for explorer digests."""
         return ("packer", self._next_msg_id, self._partial)

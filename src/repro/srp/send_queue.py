@@ -54,6 +54,21 @@ class SendQueue:
         self.enqueue(payload)
         return True
 
+    def enqueue_many(self, payloads) -> int:
+        """Append messages until the queue fills; returns how many fit.
+
+        The bulk path for workload generators topping up a queue: one
+        capacity check and one byte-count update for the whole run instead
+        of a method call per message.
+        """
+        room = self._capacity - len(self._queue)
+        if room <= 0:
+            return 0
+        accepted = payloads[:room] if len(payloads) > room else payloads
+        self._queue.extend(accepted)
+        self._bytes += sum(map(len, accepted))
+        return len(accepted)
+
     def dequeue(self) -> Optional[bytes]:
         """Pop the oldest message, or None when empty."""
         if not self._queue:

@@ -6,6 +6,8 @@ membership protocol):
 * :class:`DataPacket` — a sequenced broadcast carrying one or more packed
   application-message chunks (or encapsulated old-ring messages during
   recovery),
+* :class:`BatchPacket` — a train of consecutively sequenced data packets
+  from one sender, broadcast once per token visit,
 * :class:`Token` — the regular circulating token,
 * :class:`JoinMessage` — membership gather-state broadcast,
 * :class:`CommitToken` — membership commit-state unicast token,
@@ -18,6 +20,7 @@ The discrete-event simulator carries these objects directly (sizes come from
 
 from .packets import (
     CHUNK_HEADER_BYTES,
+    BatchPacket,
     Chunk,
     ChunkKind,
     CommitToken,
@@ -31,6 +34,7 @@ from .packets import (
 from .codec import decode_packet, encode_packet
 
 __all__ = [
+    "BatchPacket",
     "Chunk",
     "ChunkKind",
     "CHUNK_HEADER_BYTES",

@@ -18,6 +18,8 @@ from typing import Tuple, Union
 from ..errors import ChecksumError, CodecError
 from ..types import RingId
 from .packets import (
+    BATCH_MAX_PACKETS,
+    BatchPacket,
     Chunk,
     ChunkKind,
     CommitToken,
@@ -34,6 +36,8 @@ VERSION = 1
 _HEADER = struct.Struct(">HBB")
 _RING = struct.Struct(">II")
 _DATA_FIXED = struct.Struct(">IQH")        # sender, seq, chunk_count
+_BATCH_FIXED = struct.Struct(">IQH")       # sender, first_seq, packet_count
+_BATCH_SUB = struct.Struct(">H")           # chunk_count (seq is implicit)
 _CHUNK_FIXED = struct.Struct(">BBIH")      # kind, flags, msg_id, len
 _TOKEN_FIXED = struct.Struct(">QQIIIIIH")  # seq aru aru_id fcc backlog rotation done rtr_count
 _JOIN_FIXED = struct.Struct(">IIHH")       # sender, ring_seq, proc_count, fail_count
@@ -60,7 +64,7 @@ def _run_struct(letter: str, count: int) -> struct.Struct:
 #: bytearray amortises the allocation across every encode.
 _ENCODE_BUF = bytearray()
 
-Packet = Union[DataPacket, Token, JoinMessage, CommitToken]
+Packet = Union[DataPacket, BatchPacket, Token, JoinMessage, CommitToken]
 
 
 def _encode_ring(ring: RingId) -> bytes:
@@ -87,6 +91,20 @@ def encode_packet(packet: Packet) -> bytes:
             buf += chunk_pack(int(chunk.kind), chunk.flags, chunk.msg_id,
                               len(chunk.data))
             buf += chunk.data
+    elif ptype is PacketType.BATCH:
+        assert isinstance(packet, BatchPacket)
+        packet.validate()
+        buf += _encode_ring(packet.ring_id)
+        buf += _BATCH_FIXED.pack(packet.sender, packet.first_seq,
+                                 len(packet.packets))
+        sub_pack = _BATCH_SUB.pack
+        chunk_pack = _CHUNK_FIXED.pack
+        for sub in packet.packets:
+            buf += sub_pack(len(sub.chunks))
+            for chunk in sub.chunks:
+                buf += chunk_pack(int(chunk.kind), chunk.flags, chunk.msg_id,
+                                  len(chunk.data))
+                buf += chunk.data
     elif ptype is PacketType.TOKEN:
         assert isinstance(packet, Token)
         buf += _encode_ring(packet.ring_id)
@@ -132,8 +150,9 @@ class PackedPacketCache:
     times.  Entries are keyed by ``(id(packet), ring id)`` and pin the packet
     object itself, so an id can never be recycled while its entry is alive;
     a hit additionally verifies identity (``is``).  Only immutable packet
-    types (:class:`DataPacket`, :class:`JoinMessage`) are cached — tokens are
-    mutable by design and one stale byte image would corrupt the ring.
+    types (:class:`DataPacket`, :class:`BatchPacket`, :class:`JoinMessage`)
+    are cached — tokens are mutable by design and one stale byte image would
+    corrupt the ring.
     """
 
     __slots__ = ("_entries", "_capacity", "hits", "misses")
@@ -147,7 +166,7 @@ class PackedPacketCache:
         self.misses = 0
 
     def encode(self, packet: Packet) -> bytes:
-        if not isinstance(packet, (DataPacket, JoinMessage)):
+        if not isinstance(packet, (DataPacket, BatchPacket, JoinMessage)):
             return encode_packet(packet)
         key = (id(packet), getattr(packet, "ring_id", None))
         entry = self._entries.get(key)
@@ -186,6 +205,8 @@ def decode_packet(data: bytes) -> Packet:
     try:
         if ptype is PacketType.DATA:
             return _decode_data(body, offset)
+        if ptype is PacketType.BATCH:
+            return _decode_batch(body, offset)
         if ptype is PacketType.TOKEN:
             return _decode_token(body, offset)
         if ptype is PacketType.JOIN:
@@ -210,6 +231,45 @@ def _decode_data(body: bytes, offset: int) -> DataPacket:
         chunks.append(Chunk(kind=ChunkKind(kind), msg_id=msg_id,
                             flags=flags, data=payload))
     return DataPacket(sender=sender, ring_id=ring, seq=seq, chunks=tuple(chunks))
+
+
+def _decode_batch(body: bytes, offset: int) -> BatchPacket:
+    """Decode a batch frame with zero-copy ``memoryview`` slicing.
+
+    One memoryview spans the whole body; chunk payloads are sliced from it
+    without intermediate per-packet buffer copies and only materialised to
+    ``bytes`` when the :class:`Chunk` is built (chunk equality/hashing
+    requires real bytes).
+    """
+    view = memoryview(body)
+    ring, offset = _decode_ring(body, offset)
+    sender, first_seq, count = _BATCH_FIXED.unpack_from(body, offset)
+    offset += _BATCH_FIXED.size
+    if count < 1:
+        raise CodecError("batch carries no packets")
+    if count > BATCH_MAX_PACKETS:
+        raise CodecError(f"batch carries {count} packets "
+                         f"(max {BATCH_MAX_PACKETS})")
+    chunk_size = _CHUNK_FIXED.size
+    packets = []
+    for index in range(count):
+        (chunk_count,) = _BATCH_SUB.unpack_from(body, offset)
+        offset += _BATCH_SUB.size
+        chunks = []
+        for _ in range(chunk_count):
+            kind, flags, msg_id, length = _CHUNK_FIXED.unpack_from(body, offset)
+            offset += chunk_size
+            payload = view[offset:offset + length]
+            if len(payload) != length:
+                raise CodecError("batch chunk data truncated")
+            offset += length
+            chunks.append(Chunk(kind=ChunkKind(kind), msg_id=msg_id,
+                                flags=flags, data=bytes(payload)))
+        packets.append(DataPacket(sender=sender, ring_id=ring,
+                                  seq=first_seq + index, chunks=tuple(chunks)))
+    if offset != len(body):
+        raise CodecError(f"batch has {len(body) - offset} trailing bytes")
+    return BatchPacket(packets=tuple(packets))
 
 
 def _decode_token(body: bytes, offset: int) -> Token:

@@ -18,6 +18,15 @@ from ..types import NodeId, RingId, SeqNum
 #: Bytes of framing per packed chunk: kind(1) + flags(1) + msg_id(4) + len(2).
 CHUNK_HEADER_BYTES = 8
 
+#: Fixed body bytes of a batch frame: ring(8) + sender(4) + first_seq(8)
+#: + packet count(2).
+BATCH_BASE_BYTES = 22
+#: Framing bytes per packet carried in a batch (chunk count; the packet's
+#: sender/ring are shared and its seq is implicit from ``first_seq``).
+BATCH_SUB_HEADER_BYTES = 2
+#: Maximum packets one batch frame may carry (bounds decode allocation).
+BATCH_MAX_PACKETS = 64
+
 #: Fixed body bytes of a regular token (counted against the payload budget).
 TOKEN_BASE_BYTES = 56
 #: Bytes per retransmission-request entry in a token.
@@ -33,6 +42,7 @@ class PacketType(enum.IntEnum):
     TOKEN = 2
     JOIN = 3
     COMMIT_TOKEN = 4
+    BATCH = 5
 
 
 class ChunkKind(enum.IntEnum):
@@ -120,6 +130,73 @@ class DataPacket:
     @property
     def packet_type(self) -> PacketType:
         return PacketType.DATA
+
+
+@dataclass(frozen=True)
+class BatchPacket:
+    """A train of consecutively sequenced data packets from one sender.
+
+    Batching amortises one broadcast (and its per-frame CPU and framing
+    overheads) over every message a node sequences during a single token
+    visit.  The shared header carries the sender, ring and first sequence
+    number once; each carried packet contributes only its chunk vector, its
+    sequence number being implicit (``first_seq + index``).
+
+    Invariants (enforced by the codec on decode, relied on by the SRP):
+    at least one packet; every packet shares ``sender`` and ``ring_id`` with
+    the batch; sequence numbers are contiguous ascending from ``first_seq``.
+    Senders build batches from their own token-visit send loop, which
+    produces exactly this shape.  Retransmissions and membership-recovery
+    traffic never ride in batches.
+    """
+
+    packets: Tuple[DataPacket, ...]
+    #: Lazily cached wire size (see :class:`DataPacket`).
+    _wire_size: Optional[int] = field(default=None, compare=False, repr=False,
+                                      init=False)
+
+    @property
+    def sender(self) -> NodeId:
+        return self.packets[0].sender
+
+    @property
+    def ring_id(self) -> RingId:
+        return self.packets[0].ring_id
+
+    @property
+    def first_seq(self) -> SeqNum:
+        return self.packets[0].seq
+
+    @property
+    def last_seq(self) -> SeqNum:
+        return self.packets[-1].seq
+
+    def wire_size(self) -> int:
+        size = self._wire_size
+        if size is None:
+            size = BATCH_BASE_BYTES + BATCH_SUB_HEADER_BYTES * len(self.packets)
+            for packet in self.packets:
+                size += packet.wire_size()
+            object.__setattr__(self, "_wire_size", size)
+        return size
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.BATCH
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the batch invariants hold."""
+        if not self.packets:
+            raise ValueError("batch carries no packets")
+        if len(self.packets) > BATCH_MAX_PACKETS:
+            raise ValueError(f"batch carries {len(self.packets)} packets "
+                             f"(max {BATCH_MAX_PACKETS})")
+        first = self.packets[0]
+        for index, packet in enumerate(self.packets):
+            if packet.sender != first.sender or packet.ring_id != first.ring_id:
+                raise ValueError("batch packets mix senders or rings")
+            if packet.seq != first.seq + index:
+                raise ValueError("batch sequence numbers are not contiguous")
 
 
 @dataclass

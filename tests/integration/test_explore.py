@@ -66,6 +66,21 @@ def test_passive_style_exploration_clean():
     assert report.clean
 
 
+def test_batched_exploration_clean():
+    """The batch hot path survives the same adversarial schedules.
+
+    Four messages over two nodes queue two per sender, so token visits
+    really coalesce multiple packets into one droppable frame train —
+    losing a train must lose every carried packet atomically and recover
+    through ordinary retransmission.
+    """
+    report = explore(_quick_options(max_msgs=4, batching=True,
+                                    horizon=0.004, settle=0.4))
+    assert report.exhaustive
+    assert report.clean
+    assert report.paths > 10
+
+
 def test_mutation_is_caught_and_exported(tmp_path):
     """Acceptance: the eager-delivery bug is found and the exported
     counterexample replays through the campaign runner."""

@@ -1,0 +1,123 @@
+"""Unit tests for the bench CLI's gate flags and error paths.
+
+``tests/unit/test_bench_modules.py`` covers the measurement machinery;
+here the argument plumbing is pinned down: gate flags reach ``run_gate``
+with the right values, a failing gate exits non-zero, and reporting covers
+the regression/no-gate branches.  ``run_gate`` is stubbed throughout —
+these are plumbing tests, not benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import cli
+from repro.errors import GateError
+
+
+def canned_result(regressions=()):
+    return {
+        "workloads": {
+            "fig6_active_4n_700B": {"events_per_sec": 100000.0,
+                                    "ops_per_sec": 30000.0,
+                                    "virtual_mbps": 80.0},
+        },
+        "latency": {"virtual_p50_ms": 0.4, "virtual_p99_ms": 0.4},
+        "baseline": "BENCH_old.json",
+        "regressions": list(regressions),
+    }
+
+
+class TestGateFlags:
+    def capture_run_gate(self, monkeypatch, result=None, error=None):
+        calls = {}
+
+        def fake_run_gate(**kwargs):
+            calls.update(kwargs)
+            if error is not None:
+                raise error
+            return result if result is not None else canned_result()
+
+        monkeypatch.setattr("repro.bench.gate.run_gate", fake_run_gate)
+        return calls
+
+    def test_default_gate_enables_batching(self, monkeypatch):
+        calls = self.capture_run_gate(monkeypatch)
+        assert cli.main(["gate"]) == 0
+        assert calls["enable_batching"] is True
+        assert calls["enforce"] is True
+        assert calls["quick"] is False
+
+    def test_unbatched_flag_disables_batching(self, monkeypatch):
+        calls = self.capture_run_gate(monkeypatch)
+        assert cli.main(["gate", "--unbatched"]) == 0
+        assert calls["enable_batching"] is False
+
+    def test_output_and_baseline_passed_through(self, monkeypatch):
+        calls = self.capture_run_gate(monkeypatch)
+        cli.main(["gate", "--output", "BENCH_x.json",
+                  "--baseline", "BENCH_y.json", "--quick"])
+        assert calls["output"] == "BENCH_x.json"
+        assert calls["baseline"] == "BENCH_y.json"
+        assert calls["quick"] is True
+
+    def test_no_gate_disables_enforcement(self, monkeypatch):
+        calls = self.capture_run_gate(monkeypatch)
+        cli.main(["gate", "--no-gate"])
+        assert calls["enforce"] is False
+
+
+class TestGateReporting:
+    def test_failed_gate_exits_nonzero(self, monkeypatch, capsys):
+        def fail(**kwargs):
+            raise GateError("events_per_sec dropped")
+        monkeypatch.setattr("repro.bench.gate.run_gate", fail)
+        assert cli.main(["gate"]) == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_success_prints_metrics_and_baseline(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.gate.run_gate",
+                            lambda **kw: canned_result())
+        assert cli.main(["gate"]) == 0
+        captured = capsys.readouterr()
+        assert "fig6_active_4n_700B" in captured.out
+        assert "events/s" in captured.out
+        assert "p99 0.400 ms" in captured.out
+        assert "BENCH_old.json" in captured.err
+
+    def test_unenforced_regressions_reported(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.bench.gate.run_gate",
+            lambda **kw: canned_result(["x.events_per_sec: 1 -> 0"]))
+        assert cli.main(["gate", "--no-gate"]) == 0
+        err = capsys.readouterr().err
+        assert "regressions (not enforced, --no-gate):" in err
+        assert "x.events_per_sec" in err
+
+
+class TestTargetParsing:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_gate_flags_rejected_without_argument(self):
+        with pytest.raises(SystemExit):
+            cli.main(["gate", "--output"])
+
+    def test_svg_dir_writes_figure_files(self, monkeypatch, tmp_path):
+        written = []
+
+        class FakeFigure:
+            name = "fig6"
+
+            def render(self):
+                return "fig6 table"
+
+        monkeypatch.setattr("repro.bench.figures.figure6",
+                            lambda quick=False: FakeFigure())
+        monkeypatch.setattr(
+            "repro.bench.svg.write_figure_svg",
+            lambda figure, path: written.append(path) or path)
+        assert cli.main(["fig6", "--quick", "--svg", str(tmp_path)]) == 0
+        assert len(written) == 1
+        assert written[0].startswith(str(tmp_path))

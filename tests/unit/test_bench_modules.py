@@ -310,6 +310,19 @@ class TestGateSmoke:
             assert metrics["events"] > 0
         assert document["latency"]["virtual_p99_ms"] > 0
 
+    def test_fig6_microworkload_runs_with_batching_disabled(self):
+        """The unbatched fallback path must stay live: every fig6 gate
+        workload still saturates and delivers with batching off."""
+        from repro.bench.gate import GATE_WORKLOADS, _measure_workload
+
+        for _name, style, nodes, size in GATE_WORKLOADS:
+            metrics = _measure_workload(style, nodes, size, duration=0.05,
+                                        warmup=0.02, enable_batching=False)
+            assert metrics["batching"] is False
+            assert metrics["messages"] > 0
+            assert metrics["events_per_sec"] > 0
+            assert metrics["virtual_mbps"] > 0
+
     def test_no_gate_escape_hatch_reports_but_passes(self, tmp_path, capsys):
         import json
 

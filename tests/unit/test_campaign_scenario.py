@@ -209,6 +209,22 @@ class TestTwinAndSerialisation:
         with pytest.raises(ConfigError, match="unknown scenario field"):
             Scenario.from_dict(bad)
 
+    def test_totem_overrides_round_trip(self):
+        sc = Scenario(name="batched", totem={"enable_batching": True},
+                      events=())
+        again = Scenario.from_json(sc.to_json())
+        assert again.totem == {"enable_batching": True}
+        assert again == sc
+
+    def test_totem_override_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown totem override"):
+            Scenario(name="bad", totem={"warp_drive": True})
+
+    def test_totem_override_scenario_owned_key_rejected(self):
+        # replication/num_networks belong to the scenario's own fields.
+        with pytest.raises(ConfigError, match="unknown totem override"):
+            Scenario(name="bad", totem={"num_networks": 3})
+
     def test_missing_name_rejected(self):
         bad = self._scenario().to_dict()
         del bad["name"]

@@ -161,6 +161,117 @@ class TestEventScheduler:
         assert EventScheduler().step() is False
 
 
+class TestScheduleNow:
+    """The now-queue: vectorized dispatch of same-timestamp events."""
+
+    def test_now_events_fire_before_later_heap_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def poster():
+            fired.append("poster")
+            scheduler.schedule_now(fired.append, "now-1")
+            scheduler.schedule_now(fired.append, "now-2")
+        scheduler.call_at(1.0, poster)
+        scheduler.call_at(1.0001, fired.append, "later")
+        scheduler.run_until(2.0)
+        assert fired == ["poster", "now-1", "now-2", "later"]
+
+    def test_now_events_fire_before_same_time_heap_entries(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def poster():
+            fired.append("poster")
+            scheduler.schedule_now(fired.append, "now")
+        scheduler.call_at(1.0, poster)
+        scheduler.call_at(1.0, fired.append, "heap-peer")
+        scheduler.run_until(2.0)
+        # run_until drains the now-queue before popping the heap again.
+        assert fired == ["poster", "now", "heap-peer"]
+
+    def test_now_events_do_not_advance_clock(self):
+        scheduler = EventScheduler()
+        times = []
+
+        def poster():
+            scheduler.schedule_now(lambda: times.append(scheduler.now()))
+        scheduler.call_at(0.5, poster)
+        scheduler.run_until(2.0)
+        assert times == [0.5]
+
+    def test_now_events_can_chain(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                scheduler.schedule_now(chain, depth + 1)
+        scheduler.call_at(1.0, chain, 0)
+        scheduler.run_until(1.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_now_events_count_as_processed(self):
+        scheduler = EventScheduler()
+        scheduler.call_at(1.0, lambda: scheduler.schedule_now(lambda: None))
+        scheduler.run_until(1.0)
+        assert scheduler.events_processed == 2
+
+    def test_step_drains_now_queue_first(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_now(fired.append, "now")
+        scheduler.call_at(0.0, fired.append, "heap")
+        assert scheduler.step()
+        assert fired == ["now"]
+        assert scheduler.step()
+        assert fired == ["now", "heap"]
+
+    def test_pending_and_peek_time_see_now_queue(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(1.5)
+        scheduler.schedule_now(lambda: None)
+        assert scheduler.pending() == 1
+        assert scheduler.peek_time() == pytest.approx(1.5)
+        assert scheduler.metrics()["pending"] == 1
+
+    def test_run_drains_now_queue(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_now(fired.append, "a")
+        scheduler.schedule_now(fired.append, "b")
+        assert scheduler.run() == 2
+        assert fired == ["a", "b"]
+
+    def test_ready_entries_reifies_now_events(self):
+        """The explorer sees now-events as ordinary choosable entries."""
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_now(fired.append, "now-a")
+        scheduler.schedule_now(fired.append, "now-b")
+        ready = scheduler.ready_entries()
+        assert len(ready) == 2
+        assert [e[0] for e in ready] == [0.0, 0.0]
+        scheduler.discard_entry(ready[0])  # model the frame's loss
+        scheduler.fire_entry(ready[1])
+        assert fired == ["now-b"]
+        scheduler.run_until(1.0)
+        assert fired == ["now-b"]
+        assert scheduler.dead_entries == 0
+
+    def test_reified_now_events_sort_after_existing_same_time_entries(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(0.0, fired.append, "heap")
+        scheduler.schedule_now(fired.append, "now")
+        ready = scheduler.ready_entries()
+        assert len(ready) == 2
+        for entry in ready:
+            scheduler.fire_entry(entry)
+        assert fired == ["heap", "now"]
+
+
 class TestTombstoneCompaction:
     """Cancelled timers are tombstoned in place and compacted when they
     dominate the heap (see the scheduler module docstring)."""
