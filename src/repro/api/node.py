@@ -41,6 +41,7 @@ class TotemNode:
         on_config_change: Optional[ConfigChangeFn] = None,
         on_fault_report: Optional[FaultReportFn] = None,
         tracer=None,
+        channel: int = 0,
     ) -> None:
         if len(lans) != config.num_networks:
             raise ConfigError(
@@ -48,6 +49,7 @@ class TotemNode:
                 f"got {len(lans)} LANs")
         self.node_id = node_id
         self.config = config
+        self.channel = channel
         self.log = DeliveryLog()
         self._user_deliver = on_deliver
         self._user_config_change = on_config_change
@@ -58,7 +60,8 @@ class TotemNode:
         self.cpu = NodeCpu(scheduler)
         self.stack = NetworkStack(node_id, self.cpu, lan_config)
         for i, lan in enumerate(lans):
-            self.stack.add_port(lan.attach(node_id, self.stack.make_deliver_fn(i)))
+            self.stack.add_port(lan.attach(node_id, self.stack.make_deliver_fn(i),
+                                           channel=channel))
         self.rrp: ReplicationEngine = make_replication_engine(
             node_id, config, self.runtime, self.stack,
             on_fault_report=self._on_fault_report)

@@ -13,6 +13,7 @@ a process group.  This package provides the canonical such layer:
 """
 
 from .primitives import CounterMachine, LockManagerMachine
+from .sharded_kv import ShardedKv, decode_op, encode_op
 from .smr import ReplicatedStateMachine, SmrStats, StateMachine
 
 __all__ = [
@@ -21,4 +22,7 @@ __all__ = [
     "SmrStats",
     "LockManagerMachine",
     "CounterMachine",
+    "ShardedKv",
+    "encode_op",
+    "decode_op",
 ]

@@ -21,7 +21,7 @@ from ..types import ReplicationStyle
 from . import figures
 
 TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover",
-           "gate", "all")
+           "gate", "multiring", "all")
 
 
 def _maybe_svg(figure, svg_dir: Optional[str]) -> None:
@@ -125,6 +125,41 @@ def _run_gate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_multiring(args: argparse.Namespace) -> int:
+    from ..errors import GateError
+    from .multiring import run_multiring
+    output = args.output
+    if output == "BENCH_pr2.json":
+        # The gate's historical default; the multiring document gets its own.
+        output = "BENCH_pr8.json"
+    try:
+        result = run_multiring(output=output, baseline=args.baseline,
+                               enforce=not args.no_gate, quick=args.quick)
+    except GateError as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    for name, metrics in result["workloads"].items():
+        print(f"{name}: {metrics['events_per_sec']:,.0f} events/s  "
+              f"{metrics['ops_per_sec']:,.0f} ops/s")
+    sweep = result["multiring"]
+    for count in sweep["ring_counts"]:
+        point = sweep["results"][str(count)]
+        print(f"multiring x{count}: "
+              f"{point['virtual_ops_per_sec']:,.0f} virtual ops/s  "
+              f"{point['ops_per_sec']:,.0f} wall ops/s  "
+              f"(scaling {sweep['scaling_vs_1ring'][str(count)]:.2f}x)")
+    print(f"aggregate scaling at {sweep['ring_counts'][-1]} rings: "
+          f"{sweep['max_scaling']:.2f}x (floor {sweep['scaling_floor']:.1f}x)")
+    if result.get("baseline"):
+        print(f"[baseline: {result['baseline']}]", file=sys.stderr)
+    if result["regressions"]:
+        print("regressions (not enforced, --no-gate):", file=sys.stderr)
+        for line in result["regressions"]:
+            print(f"  {line}", file=sys.stderr)
+    print(f"[wrote {output}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totem-bench",
@@ -152,6 +187,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.target == "gate":
         return _run_gate(args)
+    if args.target == "multiring":
+        return _run_multiring(args)
     _run_target(args.target, quick=args.quick, svg_dir=args.svg)
     return 0
 

@@ -72,3 +72,59 @@ class SaturatingWorkload:
                      for i in range(deficit)])
                 self.sent[node_id] = index + accepted
         self.cluster.scheduler.call_after(self.refill_interval, self._refill)
+
+
+class MultiRingSaturatingWorkload:
+    """Saturates every engine of every ring of a multi-ring cluster.
+
+    Same shape as :class:`SaturatingWorkload`, but walks all ``(group,
+    member)`` engines so each ring's flow-control window is the only
+    limiter — the aggregate-throughput scaling measurement.  Payloads are
+    submitted through the engines directly (pre-wrapped as multiring data
+    frames) so the bench measures the ordered hot path, not key hashing.
+    """
+
+    def __init__(self, cluster, message_size: int,
+                 queue_target: int = 256,
+                 refill_interval: float = 0.001) -> None:
+        if message_size < 9:
+            raise ValueError("message_size must be >= 9 (prefix + index)")
+        from ..multiring.merge import DATA_PREFIX
+        self.cluster = cluster
+        self.message_size = message_size
+        self.queue_target = queue_target
+        self.refill_interval = refill_interval
+        self.engines = [cluster.nodes[addr] for addr in sorted(cluster.nodes)]
+        self.sent: Dict[NodeId, int] = {e.node_id: 0 for e in self.engines}
+        self._running = False
+        self._head = DATA_PREFIX
+        self._pad = b"\x00" * (message_size - 9)
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent.values())
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._refill()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _refill(self) -> None:
+        if not self._running:
+            return
+        target = self.queue_target
+        head = self._head
+        pad = self._pad
+        for node in self.engines:
+            deficit = target - len(node.srp.send_queue)
+            if deficit > 0:
+                index = self.sent[node.node_id]
+                accepted = node.srp.submit_many(
+                    [head + (index + i).to_bytes(8, "big") + pad
+                     for i in range(deficit)])
+                self.sent[node.node_id] = index + accepted
+        self.cluster.scheduler.call_after(self.refill_interval, self._refill)

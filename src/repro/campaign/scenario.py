@@ -178,6 +178,12 @@ class Scenario:
     settle: float = 0.4
     #: Attach a ReplicatedStateMachine to every node (SMR convergence oracle).
     smr: bool = True
+    #: Run the scenario on a multi-ring cluster with this many rings
+    #: (:mod:`repro.multiring`).  1 (the default) is the classic single-ring
+    #: cluster.  With rings > 1 the burst workload is sharded to rings by
+    #: key, ``node`` parameters name physical members (every ring has an
+    #: engine per member), and the total-order oracle applies per ring.
+    rings: int = 1
     #: Invariant-checker mode for the run ("off" keeps the campaign an
     #: application-level, black-box harness; "observe" folds protocol
     #: invariant violations into the conformance report as a bonus oracle).
@@ -213,6 +219,23 @@ class Scenario:
             raise ConfigError("scenario invariants must be 'off' or "
                               "'observe' (strict would abort the run the "
                               "oracles are meant to judge)")
+        if self.rings < 1:
+            raise ConfigError("rings must be >= 1")
+        if self.rings > 1:
+            if self.smr:
+                raise ConfigError(
+                    "multiring scenarios require smr=false (the SMR layer "
+                    "assumes one totally ordered stream per node)")
+            if self.invariants != "off":
+                raise ConfigError(
+                    "multiring scenarios require invariants='off' (the "
+                    "online checker assumes a single ring per cluster)")
+            unsupported = {"crash", "restart", "partition", "partition_all"}
+            for event in self.events:
+                if event.kind in unsupported:
+                    raise ConfigError(
+                        f"event kind {event.kind!r} is not supported on "
+                        f"multiring scenarios (network faults only)")
         restartable = set()
         for event in self.events:
             self._check_event(event, restartable)
@@ -307,7 +330,7 @@ class Scenario:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "schema": SCENARIO_SCHEMA_VERSION,
             "name": self.name,
             "style": self.style.value,
@@ -322,6 +345,11 @@ class Scenario:
             "totem": dict(self.totem),
             "events": [event.to_dict() for event in self.events],
         }
+        if self.rings != 1:
+            # Serialised only when set, so pre-multiring case files stay
+            # byte-identical through a load/save round trip.
+            document["rings"] = self.rings
+        return document
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
@@ -339,7 +367,7 @@ class Scenario:
             raise ConfigError(f"unknown replication style {data.get('style')!r}")
         known = {"schema", "name", "style", "seed", "num_nodes",
                  "num_networks", "duration", "settle", "smr", "invariants",
-                 "notes", "totem", "events"}
+                 "notes", "totem", "events", "rings"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown scenario field(s) {sorted(unknown)}")
@@ -354,6 +382,7 @@ class Scenario:
             duration=float(data.get("duration", 1.0)),
             settle=float(data.get("settle", 0.4)),
             smr=bool(data.get("smr", True)),
+            rings=int(data.get("rings", 1)),
             invariants=data.get("invariants", "off"),
             notes=data.get("notes", ""),
             totem=dict(data.get("totem", {})),

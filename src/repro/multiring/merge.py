@@ -1,0 +1,157 @@
+"""Deterministic cross-ring merge (Multi-Ring Paxos skip/merge-clock).
+
+Each ring's totally ordered stream is chopped into *rounds* by marker
+messages that the cluster's marker pump submits to every ring at a fixed
+virtual-time interval.  A marker for round *k* closes round *k*: every data
+message delivered since the previous marker belongs to round *k*.  Because
+markers ride the ring's own total order, every subscriber of a ring chops
+its stream at exactly the same points.
+
+A :class:`CrossRingMerger` subscribed to groups ``G`` emits round *k* only
+once **all** groups in ``G`` have closed round *k*, concatenating the
+per-group round contents in ascending group order.  Idle rings still emit
+markers (a marker closing an empty round is exactly a Multi-Ring Paxos
+*skip* message), so the merger never blocks on a quiet ring.  The merged
+sequence is therefore a pure function of the per-ring delivery orders —
+identical bytes at every subscriber, on every run with the same seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, SimulationError
+
+#: First payload byte of an application (data) message on a multiring ring.
+DATA_PREFIX = b"\x01"
+#: First payload byte of a merge-clock round marker.
+MARKER_PREFIX = b"\x02"
+
+_MARKER = struct.Struct(">IQ")  # (group, round)
+
+
+def encode_data(payload: bytes) -> bytes:
+    """Wrap an application payload for submission to a multiring ring."""
+    return DATA_PREFIX + payload
+
+
+def encode_marker(group: int, round_no: int) -> bytes:
+    """A merge-clock marker closing ``round_no`` on ``group``'s ring."""
+    return MARKER_PREFIX + _MARKER.pack(group, round_no)
+
+
+def decode_payload(payload: bytes):
+    """Classify a ring payload: ``("data", body)``, ``("marker", (group,
+    round))`` or ``("raw", payload)`` for unprefixed traffic."""
+    if payload[:1] == DATA_PREFIX:
+        return "data", payload[1:]
+    if payload[:1] == MARKER_PREFIX and len(payload) == 1 + _MARKER.size:
+        return "marker", _MARKER.unpack(payload[1:])
+    return "raw", payload
+
+
+class MergedEntry(NamedTuple):
+    """One application message in the merged cross-ring sequence."""
+
+    round: int
+    group: int
+    sender: int
+    seq: int
+    payload: bytes
+
+    def line(self) -> bytes:
+        """Canonical byte rendering (the unit of the determinism check)."""
+        return (f"round={self.round} group={self.group} "
+                f"sender={self.sender} seq={self.seq} "
+                f"payload={self.payload.hex()}\n").encode("ascii")
+
+
+class CrossRingMerger:
+    """Merge the streams of several ring groups into one deterministic log.
+
+    Feed it every :class:`~repro.types.DeliveredMessage` from each
+    subscribed group's local engine (in that group's delivery order); it
+    buffers per-group rounds and emits them in lockstep.
+    """
+
+    def __init__(self, groups: Sequence[int],
+                 on_deliver: Optional[Callable[[MergedEntry], None]] = None) -> None:
+        if not groups:
+            raise ConfigError("merger needs at least one ring group")
+        if len(set(groups)) != len(groups):
+            raise ConfigError("duplicate ring group in merger subscription")
+        self.groups: Tuple[int, ...] = tuple(sorted(groups))
+        self._on_deliver = on_deliver
+        #: Highest round each group has closed.
+        self._closed: Dict[int, int] = {g: 0 for g in self.groups}
+        #: Data of the currently open (unclosed) round per group.
+        self._open: Dict[int, List[Tuple[int, int, bytes]]] = {
+            g: [] for g in self.groups}
+        #: Closed-but-unmerged rounds per group.
+        self._pending: Dict[int, Dict[int, List[Tuple[int, int, bytes]]]] = {
+            g: {} for g in self.groups}
+        #: The merged cross-ring sequence emitted so far.
+        self.merged: List[MergedEntry] = []
+        self._emit_round = 1
+
+    # ----- ingestion -----
+
+    def feed(self, group: int, message) -> None:
+        """Ingest one delivered message from ``group``'s local engine."""
+        if group not in self._closed:
+            raise SimulationError(f"merger not subscribed to group {group}")
+        kind, body = decode_payload(message.payload)
+        if kind == "marker":
+            marker_group, round_no = body
+            if marker_group != group:
+                raise SimulationError(
+                    f"marker for group {marker_group} delivered on "
+                    f"group {group}'s ring")
+            self._close_round(group, round_no)
+        else:
+            payload = body if kind == "data" else message.payload
+            self._open[group].append((message.sender, message.seq, payload))
+
+    def _close_round(self, group: int, round_no: int) -> None:
+        expected = self._closed[group] + 1
+        if round_no != expected:
+            raise SimulationError(
+                f"group {group} marker closed round {round_no}, "
+                f"expected {expected} (markers must be consecutive)")
+        self._pending[group][round_no] = self._open[group]
+        self._open[group] = []
+        self._closed[group] = round_no
+        self._drain()
+
+    def _drain(self) -> None:
+        while all(self._closed[g] >= self._emit_round for g in self.groups):
+            round_no = self._emit_round
+            for g in self.groups:
+                for sender, seq, payload in self._pending[g].pop(round_no):
+                    entry = MergedEntry(round_no, g, sender, seq, payload)
+                    self.merged.append(entry)
+                    if self._on_deliver is not None:
+                        self._on_deliver(entry)
+            self._emit_round += 1
+
+    # ----- inspection -----
+
+    @property
+    def rounds_emitted(self) -> int:
+        """How many complete cross-ring rounds have been merged."""
+        return self._emit_round - 1
+
+    def rounds_closed(self, group: int) -> int:
+        """Highest round ``group`` has closed at this merger."""
+        return self._closed[group]
+
+    def log_bytes(self) -> bytes:
+        """The merged log as canonical bytes (byte-identical across
+        subscribers with the same subscription, same seed)."""
+        return b"".join(entry.line() for entry in self.merged)
+
+    def digest(self) -> str:
+        """sha256 of :meth:`log_bytes`, truncated for readability."""
+        return hashlib.sha256(self.log_bytes()).hexdigest()[:16]

@@ -80,6 +80,13 @@ class SimLan:
         self.faults = NetworkFaultModel()
         self.stats = LanStats()
         self._receivers: Dict[NodeId, DeliverFn] = {}
+        #: Multicast-group-style channels: frames still serialise on the one
+        #: shared medium (shared bandwidth, loss, and backlog), but a frame
+        #: only fans out to receivers attached to the *sender's* channel —
+        #: the simulated analogue of per-ring multicast group addresses.
+        #: Channel 0 is the default and preserves classic behaviour.
+        self._channels: Dict[NodeId, int] = {}
+        self._channel_receivers: Dict[int, Dict[NodeId, DeliverFn]] = {}
         #: Attachment generation per node: a re-attached node gets a new
         #: generation and ports of older incarnations go dead (a restarted
         #: process must not ghost-transmit through its predecessor's NIC).
@@ -96,11 +103,20 @@ class SimLan:
 
     # ----- attachment -----
 
-    def attach(self, node: NodeId, deliver: DeliverFn) -> "LanPort":
-        """Attach ``node``; ``deliver(src, packet)`` fires on frame arrival."""
+    def attach(self, node: NodeId, deliver: DeliverFn,
+               channel: int = 0) -> "LanPort":
+        """Attach ``node``; ``deliver(src, packet)`` fires on frame arrival.
+
+        ``channel`` scopes fanout: broadcasts from ``node`` reach only
+        receivers attached with the same channel (multicast-group
+        semantics).  The medium itself — bandwidth, backlog, loss — stays
+        shared across all channels.
+        """
         if node in self._receivers:
             raise TransportError(f"node {node} already attached to net{self.index}")
         self._receivers[node] = deliver
+        self._channels[node] = channel
+        self._channel_receivers.setdefault(channel, {})[node] = deliver
         generation = self._generations.get(node, 0) + 1
         self._generations[node] = generation
         return LanPort(self, node, generation)
@@ -108,10 +124,17 @@ class SimLan:
     def detach(self, node: NodeId) -> None:
         """Remove a node (e.g. a crashed process) from the network."""
         self._receivers.pop(node, None)
+        channel = self._channels.pop(node, None)
+        if channel is not None:
+            self._channel_receivers.get(channel, {}).pop(node, None)
 
     @property
     def nodes(self) -> tuple:
         return tuple(self._receivers)
+
+    def channel_of(self, node: NodeId) -> int:
+        """The channel ``node`` is attached on (0 when unattached)."""
+        return self._channels.get(node, 0)
 
     # ----- transmission -----
 
@@ -182,7 +205,9 @@ class SimLan:
             stats.frames_lost += 1
             return
 
-        receivers = self._receivers
+        # Fanout is scoped to the sender's channel (multicast-group
+        # semantics); an unattached sender transmits on channel 0.
+        receivers = self._channel_receivers.get(self._channels.get(src, 0), {})
         if dest is not None:
             targets = (dest,) if dest in receivers else ()
         else:

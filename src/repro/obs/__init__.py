@@ -46,7 +46,7 @@ from .metrics import (
     MetricRegistry,
 )
 from .report import render_report, write_report
-from .sampler import ClusterObservability, ObsEvent
+from .sampler import ClusterObservability, MultiRingObservability, ObsEvent
 
 __all__ = [
     "RUN_SCHEMA_VERSION",
@@ -70,5 +70,6 @@ __all__ = [
     "render_report",
     "write_report",
     "ClusterObservability",
+    "MultiRingObservability",
     "ObsEvent",
 ]

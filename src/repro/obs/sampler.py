@@ -70,11 +70,22 @@ class ClusterObservability:
     """Registry + sampler + health model for one :class:`SimCluster`."""
 
     def __init__(self, cluster, mode: str = "sampled",
-                 interval: float = 0.01) -> None:
+                 interval: float = 0.01,
+                 registry: Optional[MetricRegistry] = None,
+                 metric_prefix: str = "",
+                 extra_labels: Optional[Dict[str, Any]] = None) -> None:
         self._cluster = cluster
         self.mode = mode
         self.interval = interval
-        self.registry = MetricRegistry()
+        #: ``registry``/``metric_prefix``/``extra_labels`` let several
+        #: samplers share one registry with disambiguated series — the
+        #: multiring cluster runs one sampler per ring group, all writing
+        #: ``{"group": g}``-labelled metrics into a shared registry.  The
+        #: defaults (own registry, no prefix, no labels) leave single-ring
+        #: metric names and label sets exactly as before.
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._prefix = metric_prefix
+        self._extra_labels = dict(extra_labels) if extra_labels else {}
         self.num_networks = len(cluster.lans)
         self.health = RingHealthModel(self.num_networks)
         #: One row per sampling tick (the JSONL export writes these).
@@ -128,6 +139,21 @@ class ClusterObservability:
             self.interval, self._on_sample_timer)
 
     # ------------------------------------------------------------------
+    # metric naming (prefix + shared-registry label merging)
+    # ------------------------------------------------------------------
+
+    def _name(self, name: str) -> str:
+        return self._prefix + name
+
+    def _labels(self, labels: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if not self._extra_labels:
+            return labels if labels is not None else {}
+        merged = dict(self._extra_labels)
+        if labels:
+            merged.update(labels)
+        return merged
+
+    # ------------------------------------------------------------------
     # event hooks (engines call these; ``full`` mode only)
     # ------------------------------------------------------------------
 
@@ -140,14 +166,16 @@ class ClusterObservability:
     def srp_rotation(self, node_id: int, rotation: float) -> None:
         """One token rotation completed at ``node_id`` (full mode)."""
         self.registry.histogram(
-            "totem_token_rotation_seconds", labels={"node": node_id},
+            self._name("totem_token_rotation_seconds"),
+            labels=self._labels({"node": node_id}),
             help="Interval between successive token acceptances",
         ).observe(rotation)
 
     def srp_token_loss(self, node_id: int, state: str) -> None:
         """The token-loss timeout fired: membership protocol starting."""
         self.registry.counter(
-            "totem_token_loss_total", labels={"node": node_id},
+            self._name("totem_token_loss_total"),
+            labels=self._labels({"node": node_id}),
             help="Token-loss timeouts (membership escalations)").inc()
         self._emit(ObsEvent(time=self._cluster.now, kind="token-loss",
                             node=node_id, detail=f"in state {state}"))
@@ -155,8 +183,8 @@ class ClusterObservability:
     def engine_token_timeout(self, node_id: int, kind: str) -> None:
         """An RRP token timer expired (A4 / P3 progress path)."""
         self.registry.counter(
-            "totem_token_timeouts_total",
-            labels={"node": node_id, "kind": kind},
+            self._name("totem_token_timeouts_total"),
+            labels=self._labels({"node": node_id, "kind": kind}),
             help="RRP token-timer expiries by timer kind").inc()
         self._emit(ObsEvent(time=self._cluster.now, kind="token-timeout",
                             node=node_id, detail=kind))
@@ -196,17 +224,17 @@ class ClusterObservability:
                 "busy_time": snap["busy_time"],
             }
             lans.append(snap)
-            labels = {"network": i}
-            registry.counter("totem_lan_frames_sent_total", labels,
+            labels = self._labels({"network": i})
+            registry.counter(self._name("totem_lan_frames_sent_total"), labels,
                              help="Frames transmitted on the medium"
                              ).set_total(snap["frames_sent"])
-            registry.counter("totem_lan_frames_lost_total", labels,
+            registry.counter(self._name("totem_lan_frames_lost_total"), labels,
                              help="Frames lost on the medium"
                              ).set_total(snap["frames_lost"])
-            registry.counter("totem_lan_wire_bytes_total", labels,
+            registry.counter(self._name("totem_lan_wire_bytes_total"), labels,
                              help="Bytes on the wire including overhead"
                              ).set_total(snap["wire_bytes"])
-            registry.gauge("totem_lan_utilization", labels,
+            registry.gauge(self._name("totem_lan_utilization"), labels,
                            help="Medium utilization over the last window"
                            ).set(snap["window_utilization"])
 
@@ -241,29 +269,32 @@ class ClusterObservability:
             for i in snap["faulty_networks"]:
                 fault_votes[i] += 1
             nodes[str(node_id)] = snap
-            labels = {"node": node_id}
-            registry.counter("totem_msgs_delivered_total", labels,
+            labels = self._labels({"node": node_id})
+            registry.counter(self._name("totem_msgs_delivered_total"), labels,
                              help="Application messages delivered in order"
                              ).mirror(snap["msgs_delivered"])
-            registry.counter("totem_tokens_accepted_total", labels,
+            registry.counter(self._name("totem_tokens_accepted_total"), labels,
                              help="Regular tokens accepted by the SRP"
                              ).mirror(snap["tokens_accepted"])
-            registry.counter("totem_retransmissions_served_total", labels,
+            registry.counter(self._name("totem_retransmissions_served_total"),
+                             labels,
                              help="Retransmission requests served"
                              ).mirror(snap["retransmissions_served"])
-            registry.counter("totem_token_timer_expiries_total", labels,
+            registry.counter(self._name("totem_token_timer_expiries_total"),
+                             labels,
                              help="RRP token-timer expiries"
                              ).mirror(snap["token_timer_expiries"])
-            registry.counter("totem_membership_changes_total", labels,
+            registry.counter(self._name("totem_membership_changes_total"),
+                             labels,
                              help="Regular configuration installations"
                              ).mirror(snap["membership_changes"])
-            registry.gauge("totem_send_queue_depth", labels,
+            registry.gauge(self._name("totem_send_queue_depth"), labels,
                            help="Messages waiting for the token"
                            ).set(snap["send_queue_depth"])
-            registry.gauge("totem_cpu_utilization", labels,
+            registry.gauge(self._name("totem_cpu_utilization"), labels,
                            help="Cumulative CPU utilization"
                            ).set(snap["cpu_utilization"])
-            registry.gauge("totem_window_rotation_seconds", labels,
+            registry.gauge(self._name("totem_window_rotation_seconds"), labels,
                            help="Mean token rotation over the last window"
                            ).set(snap["window_rotation_mean"])
 
@@ -287,22 +318,24 @@ class ClusterObservability:
                 detail=f"{transition.old_state} -> {transition.new_state} "
                        f"(score {transition.score:.2f})"))
         for row in health_rows:
-            labels = {"network": row["network"]}
-            registry.gauge("totem_ring_health_score", labels,
+            labels = self._labels({"network": row["network"]})
+            registry.gauge(self._name("totem_ring_health_score"), labels,
                            help="Folded per-network health score [0, 1]"
                            ).set(row["score"])
-            registry.gauge("totem_monitor_skew_pressure", labels,
+            registry.gauge(self._name("totem_monitor_skew_pressure"), labels,
                            help="Worst recv-count lag / threshold"
                            ).set(skew[row["network"]])
-            registry.gauge("totem_problem_pressure", labels,
+            registry.gauge(self._name("totem_problem_pressure"), labels,
                            help="Worst problem counter / threshold"
                            ).set(problem[row["network"]])
 
         sched = snapshot_scheduler(cluster.scheduler)
-        registry.counter("sim_events_processed_total",
+        registry.counter(self._name("sim_events_processed_total"),
+                         self._labels(),
                          help="Simulator events fired"
                          ).set_total(sched["events_processed"])
-        registry.gauge("sim_pending_events",
+        registry.gauge(self._name("sim_pending_events"),
+                       self._labels(),
                        help="Scheduler heap entries (incl. tombstones)"
                        ).set(sched["pending"])
 
@@ -316,3 +349,42 @@ class ClusterObservability:
         self.samples.append(row)
         self._prev_time = now
         return row
+
+
+class MultiRingObservability:
+    """Telemetry for a :class:`~repro.multiring.MultiRingCluster`.
+
+    One :class:`ClusterObservability` sampler per ring group, all writing
+    into a single shared registry with a ``{"group": g}`` label on every
+    series — so an 8-ring run exports the same metric names as a single
+    ring, disambiguated by label rather than by name.
+    """
+
+    def __init__(self, cluster, mode: str = "sampled",
+                 interval: float = 0.01) -> None:
+        self.mode = mode
+        self.interval = interval
+        self.registry = MetricRegistry()
+        self.samplers: List[ClusterObservability] = []
+        for group in sorted(cluster.groups):
+            view = cluster.groups[group]
+            sampler = ClusterObservability(
+                view, mode=mode, interval=interval,
+                registry=self.registry, extra_labels={"group": group})
+            for node in view.nodes.values():
+                sampler.attach_node(node)
+            self.samplers.append(sampler)
+
+    def start(self) -> None:
+        for sampler in self.samplers:
+            sampler.start()
+
+    def stop(self) -> None:
+        for sampler in self.samplers:
+            sampler.stop()
+
+    def record_fault_injection(self, network: int, label: str) -> None:
+        """Faults hit the shared medium, so every group's timeline gets
+        the marker."""
+        for sampler in self.samplers:
+            sampler.record_fault_injection(network, label)

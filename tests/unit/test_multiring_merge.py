@@ -1,0 +1,192 @@
+"""Unit tests for the cross-ring merge clock (repro.multiring.merge).
+
+The merge rules under test are the Multi-Ring Paxos skip/merge-clock
+discipline: markers close consecutive rounds per group, a round is
+emitted only when every subscribed group has closed it, emission is in
+ascending group order, and idle rounds (skips) cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.multiring import (
+    DATA_PREFIX,
+    MARKER_PREFIX,
+    CrossRingMerger,
+    MergedEntry,
+    decode_payload,
+    encode_data,
+    encode_marker,
+)
+
+
+class Msg(NamedTuple):
+    """The slice of a delivered message the merger reads."""
+
+    sender: int
+    seq: int
+    payload: bytes
+
+
+def data(sender: int, seq: int, body: bytes) -> Msg:
+    return Msg(sender, seq, encode_data(body))
+
+
+def marker(group: int, round_no: int, seq: int = 99) -> Msg:
+    return Msg(sender=group * 1000 + 1, seq=seq,
+               payload=encode_marker(group, round_no))
+
+
+class TestPayloadCodec:
+    def test_data_round_trip(self):
+        kind, body = decode_payload(encode_data(b"hello"))
+        assert (kind, body) == ("data", b"hello")
+
+    def test_marker_round_trip(self):
+        kind, body = decode_payload(encode_marker(7, 41))
+        assert (kind, body) == ("marker", (7, 41))
+
+    def test_unprefixed_payload_is_raw(self):
+        kind, body = decode_payload(b"\x07legacy")
+        assert (kind, body) == ("raw", b"\x07legacy")
+
+    def test_truncated_marker_is_raw(self):
+        kind, _ = decode_payload(MARKER_PREFIX + b"\x00\x01")
+        assert kind == "raw"
+
+    def test_empty_data_frame(self):
+        assert decode_payload(DATA_PREFIX) == ("data", b"")
+
+    def test_merged_entry_line_format(self):
+        entry = MergedEntry(round=3, group=1, sender=1002, seq=5,
+                            payload=b"\xab\xcd")
+        assert entry.line() == (
+            b"round=3 group=1 sender=1002 seq=5 payload=abcd\n")
+
+
+class TestMergerConstruction:
+    def test_rejects_empty_subscription(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            CrossRingMerger([])
+
+    def test_rejects_duplicate_groups(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            CrossRingMerger([0, 1, 0])
+
+    def test_groups_sorted(self):
+        assert CrossRingMerger([2, 0, 1]).groups == (0, 1, 2)
+
+
+class TestMergerRules:
+    def test_feed_unsubscribed_group_rejected(self):
+        merger = CrossRingMerger([0, 1])
+        with pytest.raises(SimulationError, match="not subscribed"):
+            merger.feed(2, data(2001, 1, b"x"))
+
+    def test_cross_ring_marker_rejected(self):
+        merger = CrossRingMerger([0, 1])
+        with pytest.raises(SimulationError, match="marker for group"):
+            merger.feed(0, marker(1, 1))
+
+    def test_non_consecutive_marker_rejected(self):
+        merger = CrossRingMerger([0])
+        with pytest.raises(SimulationError, match="consecutive"):
+            merger.feed(0, marker(0, 2))
+
+    def test_round_emitted_only_when_all_groups_closed(self):
+        merger = CrossRingMerger([0, 1])
+        merger.feed(0, data(1, 1, b"a"))
+        merger.feed(0, marker(0, 1))
+        assert merger.merged == []  # group 1 has not closed round 1
+        assert merger.rounds_closed(0) == 1
+        merger.feed(1, marker(1, 1))
+        assert merger.rounds_emitted == 1
+        assert [(e.group, e.payload) for e in merger.merged] == [(0, b"a")]
+
+    def test_rounds_concatenate_groups_ascending(self):
+        merger = CrossRingMerger([1, 0])
+        merger.feed(1, data(1001, 1, b"from-ring-1"))
+        merger.feed(0, data(1, 1, b"from-ring-0"))
+        merger.feed(1, marker(1, 1))
+        merger.feed(0, marker(0, 1))
+        assert [e.group for e in merger.merged] == [0, 1]
+
+    def test_skip_rounds_cost_nothing(self):
+        """An idle ring's marker is a Multi-Ring Paxos skip message."""
+        merger = CrossRingMerger([0, 1])
+        for round_no in (1, 2, 3):
+            merger.feed(0, marker(0, round_no))
+            merger.feed(1, marker(1, round_no))
+        assert merger.rounds_emitted == 3
+        assert merger.merged == []
+
+    def test_lagging_group_releases_backlog(self):
+        merger = CrossRingMerger([0, 1])
+        for round_no in (1, 2, 3):
+            merger.feed(0, data(1, round_no, b"r%d" % round_no))
+            merger.feed(0, marker(0, round_no))
+        assert merger.rounds_emitted == 0
+        merger.feed(1, marker(1, 1))
+        assert merger.rounds_emitted == 1
+        merger.feed(1, marker(1, 2))
+        merger.feed(1, marker(1, 3))
+        assert merger.rounds_emitted == 3
+        assert [e.payload for e in merger.merged] == [b"r1", b"r2", b"r3"]
+
+    def test_raw_payload_kept_verbatim(self):
+        merger = CrossRingMerger([0])
+        merger.feed(0, Msg(1, 1, b"\x07legacy"))
+        merger.feed(0, marker(0, 1))
+        assert merger.merged[0].payload == b"\x07legacy"
+
+    def test_on_deliver_callback_sees_every_entry(self):
+        seen = []
+        merger = CrossRingMerger([0], on_deliver=seen.append)
+        merger.feed(0, data(1, 1, b"a"))
+        merger.feed(0, data(2, 2, b"b"))
+        merger.feed(0, marker(0, 1))
+        assert [e.payload for e in seen] == [b"a", b"b"]
+        assert seen == merger.merged
+
+    def test_delivery_order_within_round_preserved(self):
+        merger = CrossRingMerger([0])
+        for seq in range(5):
+            merger.feed(0, data(sender=1 + seq % 3, seq=seq,
+                                body=str(seq).encode()))
+        merger.feed(0, marker(0, 1))
+        assert [e.seq for e in merger.merged] == [0, 1, 2, 3, 4]
+
+
+class TestMergerLog:
+    def _fill(self, merger: CrossRingMerger) -> None:
+        merger.feed(0, data(1, 1, b"alpha"))
+        merger.feed(1, data(1001, 1, b"beta"))
+        merger.feed(0, marker(0, 1))
+        merger.feed(1, marker(1, 1))
+        merger.feed(1, marker(1, 2))
+        merger.feed(0, marker(0, 2))
+
+    def test_identically_fed_mergers_agree_byte_for_byte(self):
+        a, b = CrossRingMerger([0, 1]), CrossRingMerger([0, 1])
+        self._fill(a)
+        self._fill(b)
+        assert a.log_bytes() == b.log_bytes()
+        assert a.digest() == b.digest()
+
+    def test_log_is_the_concatenated_lines(self):
+        merger = CrossRingMerger([0, 1])
+        self._fill(merger)
+        assert merger.log_bytes() == b"".join(
+            e.line() for e in merger.merged)
+        assert b"payload=" + b"alpha".hex().encode() in merger.log_bytes()
+
+    def test_digest_is_short_stable_hex(self):
+        merger = CrossRingMerger([0, 1])
+        self._fill(merger)
+        digest = merger.digest()
+        assert len(digest) == 16
+        int(digest, 16)  # hex

@@ -1,0 +1,163 @@
+"""Tests for per-ring-group metric labelling (the PR-8 obs satellite).
+
+Three contracts:
+
+* single-ring telemetry is untouched — same metric names, same labels as
+  before the multiring refactor (the sanity check the satellite asks for);
+* :class:`ClusterObservability` honours ``metric_prefix`` /
+  ``extra_labels`` / a shared ``registry`` when asked;
+* :class:`MultiRingObservability` runs one sampler per ring group, all
+  writing ``{"group": g}``-labelled series into one registry.
+"""
+
+from __future__ import annotations
+
+from repro.api.cluster import SimCluster
+from repro.config import ClusterConfig, TotemConfig
+from repro.multiring import MultiRingCluster, MultiRingConfig, group_addr
+from repro.obs import ClusterObservability, MetricRegistry
+from repro.obs.metrics import normalize_labels
+from repro.types import ReplicationStyle
+
+#: The canonical single-ring series (name, labels) the dashboards key on.
+EXPECTED_SINGLE_RING_SERIES = [
+    ("totem_lan_frames_sent_total", {"network": 0}),
+    ("totem_lan_utilization", {"network": 1}),
+    ("totem_msgs_delivered_total", {"node": 1}),
+    ("totem_tokens_accepted_total", {"node": 2}),
+    ("totem_send_queue_depth", {"node": 3}),
+    ("totem_ring_health_score", {"network": 0}),
+    ("sim_events_processed_total", {}),
+    ("sim_pending_events", {}),
+]
+
+
+def run_single_ring(mode: str = "sampled") -> SimCluster:
+    config = ClusterConfig(
+        num_nodes=3,
+        totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                          num_networks=2),
+        obs=mode, obs_interval=0.01)
+    cluster = SimCluster(config)
+    cluster.start()
+    for i in range(5):
+        cluster.nodes[1].try_submit(b"payload-%d" % i)
+    cluster.run_for(0.1)
+    return cluster
+
+
+class TestSingleRingNamesUnchanged:
+    def test_canonical_series_exist_without_prefix_or_group(self):
+        cluster = run_single_ring()
+        registry = cluster.obs.registry
+        for name, labels in EXPECTED_SINGLE_RING_SERIES:
+            assert registry.get(name, labels) is not None, (name, labels)
+
+    def test_no_series_carries_a_group_label(self):
+        cluster = run_single_ring()
+        for metric in cluster.obs.registry.collect():
+            assert all(key != "group" for key, _ in metric.labels), metric.name
+
+    def test_all_names_unprefixed(self):
+        cluster = run_single_ring()
+        for metric in cluster.obs.registry.collect():
+            assert metric.name.startswith(("totem_", "sim_")), metric.name
+
+    def test_empty_extra_labels_normalize_like_none(self):
+        assert normalize_labels({}) == normalize_labels(()) == ()
+
+
+class TestPrefixAndExtraLabels:
+    def test_prefix_applied_to_every_series(self):
+        config = ClusterConfig(
+            num_nodes=3,
+            totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                              num_networks=2))
+        cluster = SimCluster(config)
+        obs = ClusterObservability(cluster, mode="sampled", interval=0.01,
+                                   metric_prefix="shadow_")
+        for node in cluster.nodes.values():
+            obs.attach_node(node)
+        cluster.start()
+        obs.start()
+        cluster.run_for(0.05)
+        names = {metric.name for metric in obs.registry.collect()}
+        assert names
+        assert all(name.startswith("shadow_") for name in names)
+
+    def test_extra_labels_merged_into_every_series(self):
+        config = ClusterConfig(
+            num_nodes=3,
+            totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                              num_networks=2))
+        cluster = SimCluster(config)
+        shared = MetricRegistry()
+        obs = ClusterObservability(cluster, mode="sampled", interval=0.01,
+                                   registry=shared,
+                                   extra_labels={"group": 7})
+        for node in cluster.nodes.values():
+            obs.attach_node(node)
+        cluster.start()
+        obs.start()
+        cluster.run_for(0.05)
+        assert obs.registry is shared
+        metrics = list(shared.collect())
+        assert metrics
+        for metric in metrics:
+            assert ("group", "7") in metric.labels, metric.name
+        # Node/network labels still present alongside the group label.
+        assert shared.get("totem_msgs_delivered_total",
+                          {"group": 7, "node": 1}) is not None
+
+
+class TestMultiRingObservability:
+    def make_cluster(self) -> MultiRingCluster:
+        config = MultiRingConfig(
+            num_rings=3, num_nodes=3, seed=3, obs="sampled",
+            obs_interval=0.01,
+            totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                              num_networks=2))
+        cluster = MultiRingCluster(config)
+        cluster.start(markers=False)
+        for group in cluster.groups:
+            cluster.submit_to_group(group, b"hello")
+        cluster.run_for(0.1)
+        return cluster
+
+    def test_every_group_exports_labelled_series(self):
+        cluster = self.make_cluster()
+        registry = cluster.obs.registry
+        for group in cluster.groups:
+            rep = group_addr(group, 1)  # node label = composite address
+            assert registry.get("totem_msgs_delivered_total",
+                                {"group": group, "node": rep}) is not None
+            assert registry.get("totem_lan_frames_sent_total",
+                                {"group": group, "network": 0}) is not None
+
+    def test_groups_share_one_registry_disambiguated_by_label(self):
+        cluster = self.make_cluster()
+        assert len(cluster.obs.samplers) == 3
+        registries = {id(s.registry) for s in cluster.obs.samplers}
+        assert registries == {id(cluster.obs.registry)}
+        per_group = [
+            cluster.obs.registry.get("totem_msgs_delivered_total",
+                                     {"group": g, "node": group_addr(g, 1)})
+            for g in cluster.groups
+        ]
+        assert len({id(m) for m in per_group}) == 3
+
+    def test_fault_injection_marks_every_group_timeline(self):
+        cluster = self.make_cluster()
+        cluster.obs.record_fault_injection(0, "net0 lossy")
+        for sampler in cluster.obs.samplers:
+            assert sampler.events[-1].kind == "fault-injected"
+            assert sampler.events[-1].detail == "net0 lossy"
+
+    def test_stop_halts_sampling(self):
+        cluster = self.make_cluster()
+        cluster.obs.stop()
+        counter = cluster.obs.registry.get("sim_events_processed_total",
+                                           {"group": 0})
+        before = counter.value
+        cluster.run_for(0.1)
+        assert counter.value == before
