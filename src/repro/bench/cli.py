@@ -21,7 +21,7 @@ from ..types import ReplicationStyle
 from . import figures
 
 TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover",
-           "gate", "multiring", "all")
+           "gate", "multiring", "service", "all")
 
 
 def _maybe_svg(figure, svg_dir: Optional[str]) -> None:
@@ -160,6 +160,44 @@ def _run_multiring(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_service(args: argparse.Namespace) -> int:
+    from ..errors import GateError
+    from .service import run_service
+    output = args.output
+    if output == "BENCH_pr2.json":
+        # The gate's historical default; the service document gets its own.
+        output = "BENCH_pr9.json"
+    try:
+        result = run_service(output=output, baseline=args.baseline,
+                             enforce=not args.no_gate, quick=args.quick)
+    except GateError as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    for name, metrics in result["workloads"].items():
+        print(f"{name}: {metrics['events_per_sec']:,.0f} events/s  "
+              f"{metrics['ops_per_sec']:,.0f} ops/s")
+    section = result["service"]
+    print(f"service: capacity {section['capacity_ops_per_sec']:,.0f} ops/s  "
+          f"offered {section['offered_rate']:,.0f} ops/s "
+          f"({section['overload_factor']:.0f}x)  "
+          f"goodput {section['goodput_ops_per_sec']:,.0f} ops/s "
+          f"({section['goodput_ratio']:.1%} of capacity)")
+    print(f"service latency (virtual): p50 {section['latency_p50_ms']:.2f} ms  "
+          f"p99 {section['latency_p99_ms']:.2f} ms "
+          f"(bound {section['p99_bound_ms']:.0f} ms)")
+    shed = section["slo"]["shed"]
+    shed_text = ", ".join(f"{k}={v}" for k, v in sorted(shed.items())) or "none"
+    print(f"service shed: {shed_text}  ring stalls: {section['ring_stalls']}")
+    if result.get("baseline"):
+        print(f"[baseline: {result['baseline']}]", file=sys.stderr)
+    if result["regressions"]:
+        print("regressions (not enforced, --no-gate):", file=sys.stderr)
+        for line in result["regressions"]:
+            print(f"  {line}", file=sys.stderr)
+    print(f"[wrote {output}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totem-bench",
@@ -189,6 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_gate(args)
     if args.target == "multiring":
         return _run_multiring(args)
+    if args.target == "service":
+        return _run_service(args)
     _run_target(args.target, quick=args.quick, svg_dir=args.svg)
     return 0
 

@@ -133,6 +133,13 @@ def run_gate_workloads(quick: bool = False,
 
 
 def write_result(result: Dict[str, Any], path: str) -> None:
+    """Write a result document, stamping ``recorded`` if absent.
+
+    ``recorded`` (Unix seconds) is the document's authoritative age for
+    baseline discovery: file mtimes are rewritten by every ``git
+    checkout``, so :func:`find_baseline` cannot trust them.
+    """
+    result.setdefault("recorded", int(time.time()))
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -156,8 +163,37 @@ def load_result(path: str) -> Dict[str, Any]:
     return document
 
 
+def _baseline_sort_key(path: str) -> Tuple[float, str]:
+    """Ordering key for baseline discovery: ``(recorded, basename)``.
+
+    The document's embedded ``recorded`` timestamp is authoritative; the
+    file mtime is only a fallback for documents predating the field.  In
+    a fresh ``git checkout`` every BENCH file shares one mtime, so
+    without the embedded stamp "newest by mtime" is whatever the
+    filesystem happened to write last (the BENCH_pr7 vs
+    BENCH_pr7_rebase ambiguity).  The basename tiebreak makes equal
+    timestamps deterministic too.
+    """
+    recorded: Optional[float] = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        value = document.get("recorded") if isinstance(document, dict) else None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            recorded = float(value)
+    except (OSError, json.JSONDecodeError):
+        pass
+    if recorded is None:
+        recorded = os.path.getmtime(path)
+    return recorded, os.path.basename(path)
+
+
 def find_baseline(directory: str, output_path: str) -> Optional[str]:
-    """The most recent ``BENCH_*.json`` in ``directory`` besides the output."""
+    """The most recent ``BENCH_*.json`` in ``directory`` besides the output.
+
+    Recency is the document's ``recorded`` field (see
+    :func:`_baseline_sort_key`), not the file mtime.
+    """
     output_abs = os.path.abspath(output_path)
     candidates = [
         path for path in glob.glob(os.path.join(directory, "BENCH_*.json"))
@@ -165,7 +201,7 @@ def find_baseline(directory: str, output_path: str) -> Optional[str]:
     ]
     if not candidates:
         return None
-    candidates.sort(key=lambda path: (os.path.getmtime(path), path))
+    candidates.sort(key=_baseline_sort_key)
     return candidates[-1]
 
 

@@ -1,0 +1,214 @@
+"""Service-facade SLO benchmark: goodput and tail latency under overload.
+
+``python -m repro.bench service`` drives the production facade
+(:mod:`repro.service`) with the closed-loop heavy-tailed client
+population of :class:`~repro.bench.workload.ClosedLoopWorkload` at
+~2x the ring's measured capacity, and gates on the three properties a
+load-shedding front-end exists to provide:
+
+* **goodput** — completed ops per virtual second during the measurement
+  window must stay at or above ``GOODPUT_FLOOR`` of the measured ring
+  capacity even though twice that much load is offered (the shedder
+  rejects the excess instead of letting the backlog destroy throughput);
+* **bounded p99** — the p99 virtual latency of completed requests must
+  stay under ``P99_BOUND_MS`` (the bounded admission queue caps waiting;
+  unbounded queueing would push p99 toward the run length);
+* **zero stalls** — ``service_ring_stalls_total`` must be exactly zero:
+  the backpressure shedder keeps the facade's injection inside the SRP
+  flow-control window, so no submit ever finds a full send queue.
+
+The document also embeds the standard fig6 gate workloads so the
+baseline trajectory comparison (vs ``BENCH_pr8.json``) still applies.
+All SLO figures are in *virtual* time and therefore deterministic per
+seed; wall-clock throughput appears only in the embedded gate section.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from ..config import TotemConfig
+from ..errors import GateError
+from ..multiring import MultiRingCluster, MultiRingConfig
+from ..obs.metrics import MetricRegistry
+from ..service import ServiceConfig, ServiceFacade
+from ..types import ReplicationStyle
+from .gate import (
+    REGRESSION_THRESHOLD,
+    compare,
+    find_baseline,
+    load_result,
+    run_gate_workloads,
+    write_result,
+)
+from .multiring import MULTIRING_LAN
+from .workload import ClosedLoopWorkload, MultiRingSaturatingWorkload
+
+#: Completed ops/s under 2x overload must be >= this fraction of capacity.
+GOODPUT_FLOOR = 0.80
+#: p99 virtual latency bound (ms) for completed requests under overload.
+P99_BOUND_MS = 250.0
+#: Offered load as a multiple of measured capacity.
+OVERLOAD_FACTOR = 2.0
+#: Cluster shape for the service run (matches the PR-8 sharded config).
+SERVICE_RINGS = 4
+SERVICE_NODES = 4
+#: Probe/workload payload sizing: a service envelope for an 8-byte key
+#: and 32-byte value is ~60 bytes on the wire; the capacity probe uses
+#: the same size so capacity and goodput count comparable messages.
+SERVICE_MESSAGE_SIZE = 64
+
+
+def _build_cluster(seed: int) -> MultiRingCluster:
+    config = MultiRingConfig(
+        num_rings=SERVICE_RINGS, num_nodes=SERVICE_NODES,
+        totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                          num_networks=2, enable_batching=True),
+        lan=MULTIRING_LAN, seed=seed)
+    return MultiRingCluster(config)
+
+
+def probe_capacity(duration: float = 0.2, warmup: float = 0.1,
+                   seed: int = 42) -> float:
+    """Aggregate deliverable ops per virtual second at saturation.
+
+    Saturates every engine of the same cluster shape the service run
+    uses, with the same message size, and counts per-ring deliveries at
+    one reference member — the ceiling the facade's token bucket is then
+    set to.
+    """
+    cluster = _build_cluster(seed)
+    cluster.start()
+    workload = MultiRingSaturatingWorkload(cluster, SERVICE_MESSAGE_SIZE)
+    workload.start()
+    cluster.run_for(warmup)
+    references = [view.representative.srp.stats
+                  for view in cluster.groups.values()]
+    msgs0 = sum(stats.msgs_delivered for stats in references)
+    cluster.run_for(duration)
+    messages = sum(stats.msgs_delivered for stats in references) - msgs0
+    return messages / duration
+
+
+def measure_service(num_clients: int, capacity: float,
+                    duration: float, warmup: float,
+                    seed: int = 42, workload_seed: int = 1) -> Dict[str, Any]:
+    """One closed-loop overload run against the facade; SLO metrics.
+
+    The facade's admit rate is set to the measured ``capacity`` and the
+    client population is sized to offer ``OVERLOAD_FACTOR`` times that,
+    so roughly half the offered load must be shed for goodput to hold.
+    """
+    cluster = _build_cluster(seed)
+    cluster.start()
+    registry = MetricRegistry()
+    facade = ServiceFacade(cluster, ServiceConfig(
+        name="bench", rate=capacity, burst=256,
+        queue_capacity=512, per_client_limit=64,
+        inflight_windows=4.0), registry=registry)
+    think_mean = num_clients / (OVERLOAD_FACTOR * capacity)
+    workload = ClosedLoopWorkload(facade, num_clients=num_clients,
+                                  think_mean=think_mean,
+                                  seed=workload_seed, ramp=think_mean / 2)
+    workload.start()
+    cluster.run_for(warmup)
+    mark = workload.checkpoint()
+    latency_mark = len(workload.latencies)
+    cluster.run_for(duration)
+    window = {key: value - mark[key]
+              for key, value in workload.checkpoint().items()}
+    window_latencies = sorted(workload.latencies[latency_mark:])
+
+    def percentile(values: List[float], q: float) -> float:
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(q * len(values)))
+        return values[index]
+
+    goodput = window["completed"] / duration
+    snapshot = facade.slo_snapshot()
+    return {
+        "num_clients": num_clients,
+        "think_mean": round(think_mean, 6),
+        "virtual_duration": duration,
+        "capacity_ops_per_sec": round(capacity, 1),
+        "offered_rate": round(window["offered"] / duration, 1),
+        "goodput_ops_per_sec": round(goodput, 1),
+        "goodput_ratio": round(goodput / capacity, 4) if capacity else 0.0,
+        "window": window,
+        "latency_p50_ms": round(
+            percentile(window_latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(
+            percentile(window_latencies, 0.99) * 1e3, 3),
+        "slo": snapshot,
+        "ring_stalls": snapshot["ring_stalls"],
+    }
+
+
+def run_service_measurement(quick: bool = False,
+                            seed: int = 42) -> Dict[str, Any]:
+    """Capacity probe + overload run, sized by ``quick``."""
+    capacity = probe_capacity(duration=0.1 if quick else 0.2, seed=seed)
+    num_clients = 20_000 if quick else 100_000
+    duration = 0.4 if quick else 1.0
+    warmup = 0.2 if quick else 0.4
+    result = measure_service(num_clients, capacity,
+                             duration=duration, warmup=warmup, seed=seed)
+    result["overload_factor"] = OVERLOAD_FACTOR
+    result["goodput_floor"] = GOODPUT_FLOOR
+    result["p99_bound_ms"] = P99_BOUND_MS
+    return result
+
+
+def service_gate_failures(section: Dict[str, Any]) -> List[str]:
+    """The three service SLO gates, as regression messages."""
+    failures: List[str] = []
+    ratio = section["goodput_ratio"]
+    if ratio < GOODPUT_FLOOR:
+        failures.append(
+            f"service.goodput_ratio: {ratio:.3f} < required "
+            f"{GOODPUT_FLOOR:.2f} of capacity under "
+            f"{section['overload_factor']:.0f}x overload")
+    p99 = section["latency_p99_ms"]
+    if p99 > P99_BOUND_MS:
+        failures.append(
+            f"service.latency_p99_ms: {p99:.1f} ms > bound "
+            f"{P99_BOUND_MS:.0f} ms")
+    stalls = section["ring_stalls"]
+    if stalls:
+        failures.append(
+            f"service.ring_stalls: {stalls} flow-window stalls "
+            f"(the shedder must keep this at zero)")
+    return failures
+
+
+def run_service(output: str, baseline: Optional[str] = None,
+                enforce: bool = True, quick: bool = False,
+                label: Optional[str] = None,
+                threshold: float = REGRESSION_THRESHOLD) -> Dict[str, Any]:
+    """The full service bench document: fig6 gate workloads (for the
+    baseline trajectory comparison) plus the overload SLO section and
+    its three gates.
+    """
+    if label is None:
+        stem = os.path.splitext(os.path.basename(output))[0]
+        label = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    baseline_path = baseline
+    if baseline_path is None:
+        baseline_path = find_baseline(os.path.dirname(output) or ".", output)
+    base_doc = load_result(baseline_path) if baseline_path is not None else None
+    result = run_gate_workloads(quick=quick, label=label,
+                                repeats=1 if quick else 6)
+    result["service"] = run_service_measurement(quick=quick)
+    regressions: List[str] = []
+    if base_doc is not None:
+        regressions = compare(result, base_doc, threshold=threshold)
+        result["baseline"] = os.path.basename(baseline_path)
+    regressions.extend(service_gate_failures(result["service"]))
+    result["regressions"] = regressions
+    write_result(result, output)
+    if regressions and enforce:
+        raise GateError(
+            "service bench gate failed:\n  " + "\n  ".join(regressions))
+    return result

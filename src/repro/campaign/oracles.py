@@ -241,3 +241,80 @@ def check_transparency(
                 f"twin delivered (masked faults must be invisible); "
                 f"first losses: {sample}"))
     return violations
+
+
+def check_service_decisions(
+        issued: Sequence[Tuple[int, int]],
+        decisions: Mapping[Tuple[int, int], str]) -> List[OracleViolation]:
+    """Every issued service request got exactly one typed decision.
+
+    ``issued`` lists (client, uid) in issue order (uids unique per
+    client by construction); ``decisions`` maps each to its recorded
+    outcome ("admit" or a shed reason).  A request with no decision hung
+    in the facade; a decision with no request is a fabricated response.
+    """
+    violations: List[OracleViolation] = []
+    issued_set = set(issued)
+    undecided = sorted(issued_set - set(decisions))
+    if undecided:
+        violations.append(OracleViolation(
+            "service-decision",
+            f"{len(undecided)} request(s) never received a decision "
+            f"(admitted or shed); first: {undecided[:4]}"))
+    phantom = sorted(set(decisions) - issued_set)
+    if phantom:
+        violations.append(OracleViolation(
+            "service-decision",
+            f"{len(phantom)} decision(s) for requests never issued; "
+            f"first: {phantom[:4]}"))
+    return violations
+
+
+def check_service_completion(
+        admitted: frozenset,
+        applied: Mapping[NodeId, frozenset],
+        members: Sequence[NodeId]) -> List[OracleViolation]:
+    """Every admitted write applied at every continuously-alive member.
+
+    An ``Admitted`` response is a durability promise: the operation
+    entered the replicated log, so (after the settle window) each member
+    that stayed up must have applied it.  Restarted members are exempt —
+    their fresh incarnation legitimately missed operations delivered
+    while they were down.
+    """
+    violations: List[OracleViolation] = []
+    for member in members:
+        missing = admitted - applied.get(member, frozenset())
+        if missing:
+            sample = sorted(missing)[:4]
+            violations.append(OracleViolation(
+                "service-completion",
+                f"member {member} never applied {len(missing)} admitted "
+                f"write(s) (Admitted is a durability promise); "
+                f"first: {sample}"))
+    return violations
+
+
+def check_service_transparency(
+        twin_applied: frozenset,
+        applied: Mapping[NodeId, frozenset],
+        shed: frozenset,
+        members: Sequence[NodeId]) -> List[OracleViolation]:
+    """Shed responses are the only client-visible deviation under faults.
+
+    Any (client, uid) the fault-free twin applied that a
+    continuously-alive member of the faulty run did not apply must have
+    been visibly shed — a request that silently vanished (no shed, no
+    apply) is a fault leaking through the facade's contract.
+    """
+    violations: List[OracleViolation] = []
+    for member in members:
+        lost = twin_applied - applied.get(member, frozenset()) - shed
+        if lost:
+            sample = sorted(lost)[:4]
+            violations.append(OracleViolation(
+                "service-transparency",
+                f"member {member} silently lost {len(lost)} request(s) the "
+                f"fault-free twin applied (deviations must surface as "
+                f"typed sheds); first: {sample}"))
+    return violations

@@ -32,6 +32,9 @@ from .oracles import (
     check_agreement,
     check_no_duplicates,
     check_sender_fifo,
+    check_service_completion,
+    check_service_decisions,
+    check_service_transparency,
     check_smr_convergence,
     check_total_order,
     check_transparency,
@@ -108,6 +111,10 @@ class CampaignResult:
     delivered_uids: Mapping[NodeId, FrozenSet[Tuple[NodeId, int]]]
     within_budget: bool
     twin_checked: bool
+    #: Service-facade ledger when the scenario ran with a ``service``
+    #: section: issued/admitted/shed identity sets, per-member applied
+    #: sets, shed-reason counts, stall count and the decision digest.
+    service_summary: Optional[Mapping] = None
     #: Deterministic, byte-stable replay rendering; two runs of the same
     #: case file must produce identical text.
     replay_text: str = ""
@@ -151,6 +158,11 @@ class _CompiledRun:
         self.next_uid: Dict[NodeId, int] = {}
         self.accepted: List[Tuple[NodeId, int]] = []
         self.submitted = 0
+        self.service = None
+        self.service_issued: List[Tuple[int, int]] = []
+        self.service_next_uid: Dict[int, int] = {}
+        #: (client, uid) -> "admit" or the shed reason value.
+        self.service_decisions: Dict[Tuple[int, int], str] = {}
 
     # ----- wiring -----
 
@@ -162,6 +174,11 @@ class _CompiledRun:
             if self.scenario.smr:
                 self.rsms[node_id] = ReplicatedStateMachine(
                     node, DigestMachine(), initially_synced=True)
+        if self.scenario.service:
+            from ..service import ServiceConfig, ServiceFacade
+            self.service = ServiceFacade(
+                self.cluster, ServiceConfig(**dict(self.scenario.service)))
+            self.service.on_decision(self._service_decision)
 
     # ----- timeline compilation -----
 
@@ -172,6 +189,8 @@ class _CompiledRun:
             kind, params, at = event.kind, event.params, event.at
             if kind == "burst":
                 self._schedule_burst(at, params)
+            elif kind == "client_burst":
+                self._schedule_client_burst(at, params)
             elif kind == "partition_all":
                 cluster.scheduler.call_at(
                     at, cluster.partition_cluster, params["groups"])
@@ -219,6 +238,32 @@ class _CompiledRun:
         if ok:
             self.accepted.append((sender, uid))
 
+    def _schedule_client_burst(self, at: float, params: Mapping) -> None:
+        client = params["client"]
+        for i in range(params["count"]):
+            uid = self.service_next_uid.get(client, 0) + 1
+            self.service_next_uid[client] = uid
+            self.cluster.scheduler.call_at(
+                at + i * params["gap"], self._service_submit, client, uid,
+                params["size"], params["deadline"], params["weight"])
+
+    def _service_submit(self, client: int, uid: int, size: int,
+                        deadline: float, weight: int) -> None:
+        from ..service import Request, encode_set
+        key = b"c%d" % client
+        value = uid.to_bytes(8, "big") + b"\x00" * max(0, size - 8)
+        now = self.cluster.scheduler.now()
+        self.service_issued.append((client, uid))
+        self.service.submit(Request(
+            client=client, uid=uid, key=key, body=encode_set(key, value),
+            deadline=now + deadline if deadline > 0 else None,
+            weight=weight, arrival=now))
+
+    def _service_decision(self, request, response) -> None:
+        from ..service import Shed
+        self.service_decisions[(request.client, request.uid)] = (
+            response.reason.value if isinstance(response, Shed) else "admit")
+
     def _crash(self, node_id: NodeId) -> None:
         self.crashed.add(node_id)
         self.cluster.crash_node(node_id)
@@ -234,6 +279,11 @@ class _CompiledRun:
             # and waits for the group's snapshot.
             self.rsms[node_id] = ReplicatedStateMachine(
                 fresh, DigestMachine(), initially_synced=False)
+        if self.service is not None:
+            # Restore the facade's delivery hook on the fresh incarnation
+            # so its replica resumes applying (it missed what was
+            # delivered while it was down — the oracles exempt it).
+            self.service.rebind_node(fresh)
         fresh.start(None)
 
     # ----- execution -----
@@ -243,6 +293,10 @@ class _CompiledRun:
         self.schedule()
         self.cluster.start(preformed=True)
         self.cluster.run_until(self.scenario.duration + self.scenario.settle)
+        if self.service is not None:
+            # Close the books: anything still queued when the run ends is
+            # shed, so every issued request holds exactly one decision.
+            self.service.quiesce(shed_remaining=True)
 
     # ----- harvesting -----
 
@@ -265,6 +319,36 @@ class _CompiledRun:
                 state_digest=rsm.machine.snapshot().hex()[:16],
                 membership=membership))
         return states
+
+    def alive_members(self) -> List[NodeId]:
+        """Physical members that never crashed (first incarnation, up)."""
+        return [nid for nid in sorted(self.incarnation)
+                if self.incarnation[nid] == 0 and nid not in self.crashed]
+
+    def service_summary(self) -> Dict[str, object]:
+        """The facade's ledger, reduced to what the oracles consume."""
+        facade = self.service
+        admitted = frozenset(key for key, decision
+                             in self.service_decisions.items()
+                             if decision == "admit")
+        shed = frozenset(key for key, decision
+                         in self.service_decisions.items()
+                         if decision != "admit")
+        reasons: Dict[str, int] = {}
+        for decision in self.service_decisions.values():
+            if decision != "admit":
+                reasons[decision] = reasons.get(decision, 0) + 1
+        return {
+            "issued": tuple(self.service_issued),
+            "admitted": admitted,
+            "shed": shed,
+            "shed_reasons": dict(sorted(reasons.items())),
+            "applied": {member: facade.applied_ids(member)
+                        for member in facade.port.members},
+            "ring_stalls": int(facade.m_stalls.value),
+            "decision_digest": facade.decision_digest(),
+            "gateway": facade.port.gateway,
+        }
 
     def delivered_uids(self) -> Dict[NodeId, FrozenSet[Tuple[NodeId, int]]]:
         """(sender, uid) delivered per node, across all its incarnations."""
@@ -304,6 +388,34 @@ def run_scenario(
     within_budget = scenario.within_redundancy_budget()
     twin_checked = False
     delivered = compiled.delivered_uids()
+
+    service_summary: Optional[Dict] = None
+    twin_result: Optional[CampaignResult] = None
+    if compiled.service is not None:
+        service_summary = compiled.service_summary()
+        # Members the completion/transparency oracles may judge: every
+        # physical member that stayed up for the whole run.  (Multiring
+        # scenarios cannot crash members, so all of them qualify.)
+        alive = (list(compiled.service.port.members) if compiled.multiring
+                 else [m for m in compiled.alive_members()
+                       if m in compiled.service.port.members])
+        violations += check_service_decisions(
+            service_summary["issued"], compiled.service_decisions)
+        violations += check_service_completion(
+            service_summary["admitted"], service_summary["applied"], alive)
+        if check_twin:
+            # The service twin runs even outside the redundancy budget:
+            # the facade's claim is precisely that unmaskable faults
+            # surface only as typed sheds, never as silent loss.
+            twin_result = run_scenario(scenario.fault_free_twin(),
+                                       check_twin=False)
+            twin_applied = twin_result.service_summary["applied"][
+                service_summary["gateway"]]
+            violations += check_service_transparency(
+                twin_applied, service_summary["applied"],
+                service_summary["shed"], alive)
+            twin_checked = True
+
     if within_budget and check_twin:
         if scenario.rings > 1:
             # Each ring guarantees its own total order; cross-ring order is
@@ -317,8 +429,10 @@ def run_scenario(
         else:
             violations += check_total_order(histories)
         if twin_delivered is None:
-            twin = run_scenario(scenario.fault_free_twin(), check_twin=False)
-            twin_delivered = twin.delivered_uids
+            if twin_result is None:
+                twin_result = run_scenario(scenario.fault_free_twin(),
+                                           check_twin=False)
+            twin_delivered = twin_result.delivered_uids
         violations += check_transparency(delivered, twin_delivered)
         twin_checked = True
 
@@ -335,6 +449,7 @@ def run_scenario(
         delivered_uids=delivered,
         within_budget=within_budget,
         twin_checked=twin_checked,
+        service_summary=service_summary,
         cluster=compiled.cluster if keep_cluster else None)
     result.replay_text = render_replay(result, compiled)
     return result
@@ -370,6 +485,16 @@ def render_replay(result: CampaignResult, compiled: _CompiledRun) -> str:
             line += (f" smr={'synced' if rsm.synced else 'unsynced'}"
                      f"/{rsm.machine.snapshot().hex()[:16]}")
         lines.append(line)
+    if result.service_summary is not None:
+        summary = result.service_summary
+        reasons = ",".join(f"{reason}={count}" for reason, count
+                           in summary["shed_reasons"].items()) or "none"
+        lines.append(
+            f"  service: issued={len(summary['issued'])} "
+            f"admitted={len(summary['admitted'])} "
+            f"shed={len(summary['shed'])} ({reasons}) "
+            f"stalls={summary['ring_stalls']} "
+            f"decisions={summary['decision_digest']}")
     twin = ("checked" if result.twin_checked
             else "n/a" if not result.within_budget else "skipped")
     lines.append(f"  transparency-twin: {twin}")

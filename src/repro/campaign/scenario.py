@@ -16,6 +16,8 @@ Event kinds
 Workload::
 
     burst            node, count, size, gap      submit `count` messages
+    client_burst     client, count[, gap, size,  issue `count` service
+                     deadline, weight]           requests (needs `service`)
 
 Network faults (masked by redundancy while at least one network is clean)::
 
@@ -61,6 +63,9 @@ STYLE_NETWORKS = {
 #: kind -> (required params, optional params with defaults)
 EVENT_SPECS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
     "burst": (("node", "count", "size"), {"gap": 0.001}),
+    "client_burst": (("client", "count"),
+                     {"gap": 0.0005, "size": 32, "deadline": 0.0,
+                      "weight": 1}),
     "loss": (("network", "rate"), {}),
     "burst_loss": (("network", "p_good_to_bad", "p_bad_to_good"),
                    {"bad_loss": 1.0}),
@@ -77,7 +82,7 @@ EVENT_SPECS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
     "restart": (("node",), {}),
 }
 
-WORKLOAD_KINDS = frozenset({"burst"})
+WORKLOAD_KINDS = frozenset({"burst", "client_burst"})
 #: Faults a fault-free twin run strips from the timeline.
 FAULT_KINDS = frozenset(EVENT_SPECS) - WORKLOAD_KINDS
 #: Faults redundancy can mask (paper §3): they disturb *networks*, and the
@@ -196,10 +201,20 @@ class Scenario:
     #: ``num_networks``).  Lets a case file exercise alternative hot-path
     #: configurations, e.g. ``{"enable_batching": true}``.
     totem: Mapping[str, Any] = field(default_factory=dict)
+    #: Service-facade overrides (:class:`repro.service.ServiceConfig`
+    #: fields, e.g. ``{"rate": 2000, "queue_capacity": 64}``).  Non-empty
+    #: attaches a :class:`~repro.service.ServiceFacade` to the cluster and
+    #: enables ``client_burst`` events plus the service oracles (exactly
+    #: one decision per request, admitted writes apply everywhere, sheds
+    #: are the only client-visible deviation from the fault-free twin).
+    #: Service scenarios require ``smr=false`` — the facade owns the
+    #: delivery stream the same way the SMR layer would.
+    service: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
         object.__setattr__(self, "totem", dict(self.totem))
+        object.__setattr__(self, "service", dict(self.service))
         allowed = ({f.name for f in dataclass_fields(TotemConfig)}
                    - {"replication", "num_networks"})
         unknown = set(self.totem) - allowed
@@ -236,6 +251,20 @@ class Scenario:
                     raise ConfigError(
                         f"event kind {event.kind!r} is not supported on "
                         f"multiring scenarios (network faults only)")
+        if self.service:
+            if self.smr:
+                raise ConfigError(
+                    "service scenarios require smr=false (the facade owns "
+                    "the delivery stream the SMR layer would claim)")
+            from ..service import ServiceConfig
+            try:
+                config = ServiceConfig(**self.service)
+            except TypeError as exc:
+                raise ConfigError(f"bad service override: {exc}") from None
+            if not 1 <= config.gateway <= self.num_nodes:
+                raise ConfigError(
+                    f"service gateway {config.gateway} outside nodes "
+                    f"1..{self.num_nodes}")
         restartable = set()
         for event in self.events:
             self._check_event(event, restartable)
@@ -270,6 +299,20 @@ class Scenario:
         if event.kind == "burst":
             if params["count"] < 1 or params["size"] < 0 or params["gap"] < 0:
                 raise ConfigError(f"event '{event}' has a bad burst shape")
+        if event.kind == "client_burst":
+            if not self.service:
+                raise ConfigError(
+                    f"event '{event}' needs the scenario's 'service' "
+                    f"section (client_burst drives the service facade)")
+            if (params["client"] < 1 or params["count"] < 1
+                    or params["gap"] < 0 or params["size"] < 0
+                    or params["deadline"] < 0 or params["weight"] < 1):
+                raise ConfigError(f"event '{event}' has a bad burst shape")
+        if (event.kind == "crash" and self.service
+                and params["node"] == self.service.get("gateway", 1)):
+            raise ConfigError(
+                f"event '{event}' crashes the service gateway "
+                f"(the facade's injection point must stay up)")
         if event.kind == "drop_frame" and params["serial"] < 1:
             raise ConfigError(f"event '{event}' has a bad frame serial")
         if event.kind == "crash":
@@ -349,6 +392,9 @@ class Scenario:
             # Serialised only when set, so pre-multiring case files stay
             # byte-identical through a load/save round trip.
             document["rings"] = self.rings
+        if self.service:
+            # Same contract: absent unless the scenario uses the facade.
+            document["service"] = dict(self.service)
         return document
 
     def to_json(self) -> str:
@@ -367,7 +413,7 @@ class Scenario:
             raise ConfigError(f"unknown replication style {data.get('style')!r}")
         known = {"schema", "name", "style", "seed", "num_nodes",
                  "num_networks", "duration", "settle", "smr", "invariants",
-                 "notes", "totem", "events", "rings"}
+                 "notes", "totem", "events", "rings", "service"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown scenario field(s) {sorted(unknown)}")
@@ -386,6 +432,7 @@ class Scenario:
             invariants=data.get("invariants", "off"),
             notes=data.get("notes", ""),
             totem=dict(data.get("totem", {})),
+            service=dict(data.get("service", {})),
             events=tuple(TimelineEvent.from_dict(entry)
                          for entry in data.get("events", ())),
         )

@@ -1,0 +1,117 @@
+"""Circuit breaker and deadline budget for cross-shard reads.
+
+The classic three-state breaker (closed -> open -> half-open), driven by
+the virtual clock the caller passes in — no wall clock, fully
+deterministic.  The facade keeps one breaker per shard ring; a shard
+whose ring has lost quorum or whose submits fail trips its breaker, and
+reads against it fail fast (served stale from the local replica) instead
+of piling latency onto an unhealthy shard.
+
+:class:`DeadlineBudget` is the matching deadline wrapper: a scatter
+phase over many shards charges each shard's modelled read cost against
+one budget, and shards past the budget are not attempted at all.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric encoding for the breaker-state gauge (Prometheus-friendly).
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Three-state breaker on consecutive failures.
+
+    ``failure_threshold`` consecutive failures open the breaker; after
+    ``reset_timeout`` virtual seconds it half-opens and lets up to
+    ``half_open_probes`` trial calls through — one success closes it,
+    one failure re-opens it (and restarts the timeout).
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 0.1,
+                 half_open_probes: int = 1) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigError("reset_timeout must be positive")
+        if half_open_probes < 1:
+            raise ConfigError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_left = 0
+
+    def state(self, now: float) -> str:
+        """Current state, advancing open -> half-open on timeout."""
+        if (self._state == OPEN
+                and now - self._opened_at >= self.reset_timeout):
+            self._state = HALF_OPEN
+            self._probes_left = self.half_open_probes
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed (consumes a half-open probe)."""
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        self._failures = 0
+        if self.state(now) == HALF_OPEN:
+            self._state = CLOSED
+
+    def record_failure(self, now: float) -> None:
+        state = self.state(now)
+        if state == HALF_OPEN:
+            self._trip(now)
+            return
+        self._failures += 1
+        if state == CLOSED and self._failures >= self.failure_threshold:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._failures = 0
+        self._probes_left = 0
+
+    def value(self, now: float) -> float:
+        """Gauge encoding of :meth:`state` (0 closed, 1 half, 2 open)."""
+        return STATE_VALUES[self.state(now)]
+
+
+class DeadlineBudget:
+    """A virtual-time budget charged by modelled per-shard read costs."""
+
+    def __init__(self, start: float, timeout: float) -> None:
+        if timeout <= 0:
+            raise ConfigError("deadline timeout must be positive")
+        self.deadline = start + timeout
+        self._elapsed = start
+
+    @property
+    def now(self) -> float:
+        """The budget's current charged position."""
+        return self._elapsed
+
+    @property
+    def expired(self) -> bool:
+        return self._elapsed > self.deadline
+
+    def charge(self, cost: float) -> bool:
+        """Spend ``cost`` seconds; False when the budget is exhausted."""
+        self._elapsed += cost
+        return not self.expired

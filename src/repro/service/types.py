@@ -1,0 +1,194 @@
+"""Typed requests, responses and the service wire envelope.
+
+The service facade speaks a small, closed vocabulary to its clients:
+every submitted :class:`Request` eventually yields exactly one *decision*
+response — :class:`Admitted` or a typed :class:`Shed` (with its
+:class:`Overload` subtype for pressure-driven rejections) — and admitted
+writes later yield one *completion* when the replicated operation applies
+at the gateway replica.  Reads return :class:`ReadResult` values that are
+explicit about degradation (stale local data served while a shard's
+circuit breaker is open).
+
+Wire envelope
+-------------
+
+Replicated operations travel as ``SV1 client:u32 uid:u64 body`` where
+``body`` is one service operation: ``S``/``D`` key-value writes (the
+:mod:`repro.app.sharded_kv` op format) or ``P`` topic publications.  The
+envelope is what lets every replica — and the campaign oracles — map a
+delivered message back to the client request that produced it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..errors import CodecError
+
+#: Envelope magic; bump if the layout changes incompatibly.
+ENVELOPE_MAGIC = b"SV1"
+_ENVELOPE = struct.Struct(">IQ")
+ENVELOPE_LEN = len(ENVELOPE_MAGIC) + _ENVELOPE.size
+
+#: Service operation kinds (first byte of the envelope body).
+OP_SET = b"S"
+OP_DEL = b"D"
+OP_PUB = b"P"
+
+_KEY_LEN = struct.Struct(">H")
+
+
+class ShedReason(str, Enum):
+    """Why a request was rejected instead of admitted."""
+
+    #: The token bucket was empty and the request could not wait.
+    RATE_LIMITED = "rate-limited"
+    #: The bounded admission queue (global or per-client) was full.
+    QUEUE_FULL = "queue-full"
+    #: The request's deadline passed while it waited for admission.
+    DEADLINE_EXPIRED = "deadline-expired"
+    #: The flow-control-aware shedder saw the ring near its backlog
+    #: window and rejected the request before the ring could stall.
+    BACKPRESSURE = "backpressure"
+    #: A shard's circuit breaker is open (cross-shard reads).
+    CIRCUIT_OPEN = "circuit-open"
+    #: The gateway engine refused the submit (should never happen while
+    #: the shedder holds headroom; counted as a flow-window stall).
+    UNAVAILABLE = "unavailable"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request, as the admission pipeline sees it.
+
+    ``uid`` increases per client; ``(client, uid)`` is the request's
+    identity everywhere (decision log, delivered-op log, oracles).
+    ``deadline`` is an absolute virtual time after which admission is
+    pointless; ``weight`` scales the client's share of the weighted-fair
+    drain (a weight-2 client drains twice as fast as a weight-1 one).
+    """
+
+    client: int
+    uid: int
+    key: bytes
+    body: bytes
+    deadline: Optional[float] = None
+    weight: int = 1
+    #: Stamped by the facade when the request arrives.
+    arrival: float = field(default=0.0, compare=False)
+
+
+class Response:
+    """Base class of every client-visible decision."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Admitted(Response):
+    """The request was accepted into the replicated log."""
+
+    client: int
+    uid: int
+    #: Virtual seconds the request waited in the admission queue.
+    queued_for: float = 0.0
+
+
+@dataclass(frozen=True)
+class Shed(Response):
+    """The request was rejected with a typed reason.
+
+    ``retry_after`` is advisory: the earliest virtual time offset at
+    which retrying could plausibly succeed (token-bucket refill time for
+    rate sheds, the drain interval otherwise).
+    """
+
+    client: int
+    uid: int
+    reason: ShedReason
+    retry_after: float = 0.0
+
+
+@dataclass(frozen=True)
+class Overload(Shed):
+    """A shed caused by pressure (backpressure / rate / queue bounds).
+
+    Distinguished so clients can treat overload sheds (back off) apart
+    from per-request sheds like an expired deadline (give up).
+    """
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One key's outcome in a (cross-shard) read."""
+
+    key: bytes
+    value: Optional[bytes]
+    #: "ok", "degraded" (stale local value, breaker open or shard
+    #: unhealthy), "circuit-open" or "deadline-expired".
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# ----------------------------------------------------------------------
+# wire envelope
+# ----------------------------------------------------------------------
+
+def encode_envelope(client: int, uid: int, body: bytes) -> bytes:
+    """Wrap one service operation body for replication."""
+    if client < 0 or client > 0xFFFFFFFF:
+        raise CodecError(f"client id {client} out of range")
+    if uid < 0 or uid > 0xFFFFFFFFFFFFFFFF:
+        raise CodecError(f"request uid {uid} out of range")
+    return ENVELOPE_MAGIC + _ENVELOPE.pack(client, uid) + body
+
+
+def decode_envelope(payload: bytes) -> Optional[Tuple[int, int, bytes]]:
+    """Parse ``(client, uid, body)``; None for non-service payloads."""
+    if payload[:len(ENVELOPE_MAGIC)] != ENVELOPE_MAGIC:
+        return None
+    if len(payload) < ENVELOPE_LEN:
+        raise CodecError("service envelope truncated")
+    client, uid = _ENVELOPE.unpack_from(payload, len(ENVELOPE_MAGIC))
+    return client, uid, payload[ENVELOPE_LEN:]
+
+
+def encode_set(key: bytes, value: bytes) -> bytes:
+    """Body of a replicated ``key = value`` write."""
+    return _encode_keyed(OP_SET, key, value)
+
+
+def encode_delete(key: bytes) -> bytes:
+    """Body of a replicated delete."""
+    return _encode_keyed(OP_DEL, key)
+
+
+def encode_publish(topic: bytes, data: bytes) -> bytes:
+    """Body of a pub-sub publication on ``topic``."""
+    return _encode_keyed(OP_PUB, topic, data)
+
+
+def _encode_keyed(op: bytes, key: bytes, value: bytes = b"") -> bytes:
+    if len(key) > 0xFFFF:
+        raise CodecError("key too long")
+    return op + _KEY_LEN.pack(len(key)) + key + value
+
+
+def decode_body(body: bytes) -> Tuple[bytes, bytes, bytes]:
+    """Parse one service operation body into ``(op, key, value)``."""
+    if len(body) < 1 + _KEY_LEN.size:
+        raise CodecError("service op truncated")
+    op = body[:1]
+    if op not in (OP_SET, OP_DEL, OP_PUB):
+        raise CodecError(f"unknown service op {op!r}")
+    (key_len,) = _KEY_LEN.unpack_from(body, 1)
+    key_end = 1 + _KEY_LEN.size + key_len
+    if len(body) < key_end:
+        raise CodecError("service op truncated")
+    return op, body[1 + _KEY_LEN.size:key_end], body[key_end:]

@@ -1,0 +1,90 @@
+"""Tier-1 pin of the service-facade campaign scenario.
+
+``tests/scenarios/service_overload.json`` drives the production facade
+through a client overload burst, a ring-member crash during load, and a
+heal + restart — the resilience story in one case file.  Pinned here:
+
+* the case file is byte-identical to its canonical serialization (so an
+  accidental schema or default change shows up as a diff, not silently);
+* the run passes every oracle, including the fault-transparency oracle:
+  the fault-free twin's applied set minus typed sheds equals what the
+  faulty run applied — sheds are the *only* client-visible deviation;
+* replay is deterministic byte for byte.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import load_scenario, run_scenario
+from repro.errors import ConfigError
+
+SCENARIO = os.path.join(os.path.dirname(__file__), "..", "scenarios",
+                        "service_overload.json")
+
+
+def test_case_file_pinned_byte_identical():
+    with open(SCENARIO, "rb") as fh:
+        on_disk = fh.read()
+    scenario = load_scenario(SCENARIO)
+    assert scenario.to_json().encode() == on_disk
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(load_scenario(SCENARIO))
+
+
+def test_scenario_passes_all_oracles(result):
+    assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+def test_fault_transparency_twin_checked(result):
+    # The transparency oracle must actually have run (crash present, so
+    # the fault-free twin is mandatory for the facade's contract).
+    assert result.twin_checked
+    summary = result.service_summary
+    assert summary is not None
+    admitted = summary["admitted"]
+    shed = summary["shed"]
+    assert admitted and shed, "scenario must exercise both outcomes"
+    # Exactly one decision per issued request, no overlap.
+    assert not (admitted & shed)
+    assert admitted | shed == set(summary["issued"])
+
+
+def test_overload_was_real_and_ring_never_stalled(result):
+    summary = result.service_summary
+    reasons = summary["shed_reasons"]
+    # The burst overloads admission (rate/queue) and the ring
+    # (backpressure); the shedder must keep the SRP queue from stalling.
+    assert reasons.get("backpressure", 0) > 0
+    assert summary["ring_stalls"] == 0
+    assert result.delivered_total > 0
+
+
+def test_replay_is_byte_identical():
+    scenario = load_scenario(SCENARIO)
+    first = run_scenario(scenario)
+    second = run_scenario(scenario)
+    assert first.replay_text == second.replay_text
+    assert "service: issued=" in first.replay_text
+    assert first.replay_text.endswith("verdict: PASS\n")
+
+
+def test_service_scenarios_require_unreplicated_smr():
+    scenario = load_scenario(SCENARIO)
+    data = scenario.to_dict()
+    data["smr"] = True
+    with pytest.raises(ConfigError, match="smr"):
+        type(scenario).from_dict(data)
+
+
+def test_crashing_the_gateway_is_rejected():
+    scenario = load_scenario(SCENARIO)
+    data = scenario.to_dict()
+    for event in data["events"]:
+        if event["kind"] == "crash":
+            event["node"] = 1                  # the facade gateway
+    with pytest.raises(ConfigError, match="gateway"):
+        type(scenario).from_dict(data)

@@ -95,6 +95,144 @@ class TestGateReporting:
         assert "x.events_per_sec" in err
 
 
+def canned_multiring_result(regressions=()):
+    return {
+        "workloads": {
+            "fig6_active_4n_700B": {"events_per_sec": 100000.0,
+                                    "ops_per_sec": 30000.0},
+        },
+        "multiring": {
+            "ring_counts": [1, 2],
+            "results": {
+                "1": {"virtual_ops_per_sec": 10000.0, "ops_per_sec": 9000.0},
+                "2": {"virtual_ops_per_sec": 19000.0, "ops_per_sec": 17000.0},
+            },
+            "scaling_vs_1ring": {"1": 1.0, "2": 1.9},
+            "max_scaling": 1.9,
+            "scaling_floor": 1.5,
+        },
+        "baseline": "BENCH_old.json",
+        "regressions": list(regressions),
+    }
+
+
+def canned_service_result(regressions=()):
+    return {
+        "workloads": {
+            "fig6_active_4n_700B": {"events_per_sec": 100000.0,
+                                    "ops_per_sec": 30000.0},
+        },
+        "service": {
+            "capacity_ops_per_sec": 80000.0,
+            "offered_rate": 160000.0,
+            "overload_factor": 2.0,
+            "goodput_ops_per_sec": 76000.0,
+            "goodput_ratio": 0.95,
+            "latency_p50_ms": 11.5,
+            "latency_p99_ms": 21.0,
+            "p99_bound_ms": 250.0,
+            "ring_stalls": 0,
+            "slo": {"shed": {"queue-full": 42, "backpressure": 7}},
+        },
+        "baseline": "BENCH_old.json",
+        "regressions": list(regressions),
+    }
+
+
+class TestMultiringFlags:
+    def capture(self, monkeypatch, result=None, error=None):
+        calls = {}
+
+        def fake_run_multiring(**kwargs):
+            calls.update(kwargs)
+            if error is not None:
+                raise error
+            return result if result is not None else canned_multiring_result()
+
+        monkeypatch.setattr("repro.bench.multiring.run_multiring",
+                            fake_run_multiring)
+        return calls
+
+    def test_default_output_becomes_pr8(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        assert cli.main(["multiring"]) == 0
+        assert calls["output"] == "BENCH_pr8.json"
+        assert calls["enforce"] is True
+
+    def test_explicit_output_passed_through(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        cli.main(["multiring", "--output", "BENCH_mine.json",
+                  "--baseline", "BENCH_b.json", "--quick", "--no-gate"])
+        assert calls["output"] == "BENCH_mine.json"
+        assert calls["baseline"] == "BENCH_b.json"
+        assert calls["quick"] is True
+        assert calls["enforce"] is False
+
+    def test_failed_gate_exits_nonzero(self, monkeypatch, capsys):
+        self.capture(monkeypatch, error=GateError("scaling regressed"))
+        assert cli.main(["multiring"]) == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_success_prints_scaling_summary(self, monkeypatch, capsys):
+        self.capture(monkeypatch)
+        assert cli.main(["multiring"]) == 0
+        captured = capsys.readouterr()
+        assert "multiring x2" in captured.out
+        assert "aggregate scaling at 2 rings" in captured.out
+        assert "BENCH_old.json" in captured.err
+
+
+class TestServiceFlags:
+    def capture(self, monkeypatch, result=None, error=None):
+        calls = {}
+
+        def fake_run_service(**kwargs):
+            calls.update(kwargs)
+            if error is not None:
+                raise error
+            return result if result is not None else canned_service_result()
+
+        monkeypatch.setattr("repro.bench.service.run_service",
+                            fake_run_service)
+        return calls
+
+    def test_default_output_becomes_pr9(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        assert cli.main(["service"]) == 0
+        assert calls["output"] == "BENCH_pr9.json"
+        assert calls["enforce"] is True
+        assert calls["quick"] is False
+
+    def test_explicit_flags_passed_through(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        cli.main(["service", "--output", "BENCH_svc.json",
+                  "--baseline", "BENCH_b.json", "--quick", "--no-gate"])
+        assert calls["output"] == "BENCH_svc.json"
+        assert calls["baseline"] == "BENCH_b.json"
+        assert calls["quick"] is True
+        assert calls["enforce"] is False
+
+    def test_failed_gate_exits_nonzero(self, monkeypatch, capsys):
+        self.capture(monkeypatch, error=GateError("goodput collapsed"))
+        assert cli.main(["service"]) == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_success_prints_slo_summary(self, monkeypatch, capsys):
+        self.capture(monkeypatch)
+        assert cli.main(["service"]) == 0
+        captured = capsys.readouterr()
+        assert "goodput 76,000 ops/s" in captured.out
+        assert "p99 21.00 ms" in captured.out
+        assert "backpressure=7" in captured.out
+        assert "ring stalls: 0" in captured.out
+
+    def test_unenforced_regressions_reported(self, monkeypatch, capsys):
+        self.capture(monkeypatch, result=canned_service_result(
+            ["service.goodput_ratio: 0.5 < required 0.80"]))
+        assert cli.main(["service", "--no-gate"]) == 0
+        assert "service.goodput_ratio" in capsys.readouterr().err
+
+
 class TestTargetParsing:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,114 @@
+"""Unit tests for baseline discovery via the embedded ``recorded`` stamp.
+
+A fresh ``git checkout`` gives every ``BENCH_*.json`` the same mtime, so
+"newest file wins" used to be whatever the filesystem wrote last — the
+BENCH_pr7 vs BENCH_pr7_rebase ambiguity.  Discovery now orders by the
+document's own ``recorded`` Unix timestamp (with the basename as a
+deterministic tiebreak) and only falls back to mtime for documents that
+predate the field.
+"""
+
+import json
+import os
+
+from repro.bench.gate import (
+    SCHEMA_VERSION,
+    _baseline_sort_key,
+    find_baseline,
+    write_result,
+)
+
+
+def write_doc(path, recorded=None, mtime=None):
+    document = {"schema": SCHEMA_VERSION, "workloads": {}}
+    if recorded is not None:
+        document["recorded"] = recorded
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return str(path)
+
+
+class TestWriteResult:
+    def test_stamps_recorded(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_result({"schema": SCHEMA_VERSION, "workloads": {}}, str(path))
+        document = json.loads(path.read_text())
+        assert isinstance(document["recorded"], int)
+        assert document["recorded"] > 1_700_000_000
+
+    def test_keeps_existing_recorded(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_result({"schema": SCHEMA_VERSION, "workloads": {},
+                      "recorded": 123}, str(path))
+        assert json.loads(path.read_text())["recorded"] == 123
+
+
+class TestSortKey:
+    def test_recorded_beats_mtime(self, tmp_path):
+        path = write_doc(tmp_path / "BENCH_a.json", recorded=500,
+                         mtime=9_999_999)
+        assert _baseline_sort_key(path) == (500.0, "BENCH_a.json")
+
+    def test_mtime_fallback_without_recorded(self, tmp_path):
+        path = write_doc(tmp_path / "BENCH_a.json", mtime=777)
+        assert _baseline_sort_key(path) == (777.0, "BENCH_a.json")
+
+    def test_malformed_json_falls_back_to_mtime(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        os.utime(path, (555, 555))
+        assert _baseline_sort_key(str(path)) == (555.0, "BENCH_bad.json")
+
+    def test_boolean_recorded_is_ignored(self, tmp_path):
+        # JSON `true` is a Python bool — not a timestamp.
+        path = write_doc(tmp_path / "BENCH_a.json", recorded=True, mtime=42)
+        assert _baseline_sort_key(path) == (42.0, "BENCH_a.json")
+
+
+class TestFindBaseline:
+    def test_pr7_rebase_ambiguity_resolved_by_recorded(self, tmp_path):
+        # The motivating case: identical mtimes (fresh checkout), with the
+        # rebase document recorded *before* the post-rebase re-measurement.
+        write_doc(tmp_path / "BENCH_pr7.json", recorded=2000, mtime=100)
+        write_doc(tmp_path / "BENCH_pr7_rebase.json", recorded=1000,
+                  mtime=100)
+        assert find_baseline(str(tmp_path),
+                             str(tmp_path / "BENCH_pr9.json")) == str(
+            tmp_path / "BENCH_pr7.json")
+
+    def test_recorded_overrides_newer_mtime(self, tmp_path):
+        write_doc(tmp_path / "BENCH_old.json", recorded=1000, mtime=9000)
+        write_doc(tmp_path / "BENCH_new.json", recorded=2000, mtime=1000)
+        assert find_baseline(str(tmp_path), "BENCH_out.json").endswith(
+            "BENCH_new.json")
+
+    def test_equal_recorded_breaks_tie_by_basename(self, tmp_path):
+        write_doc(tmp_path / "BENCH_a.json", recorded=1000)
+        write_doc(tmp_path / "BENCH_b.json", recorded=1000)
+        assert find_baseline(str(tmp_path), "BENCH_out.json").endswith(
+            "BENCH_b.json")
+
+    def test_output_file_excluded(self, tmp_path):
+        write_doc(tmp_path / "BENCH_old.json", recorded=1000)
+        output = write_doc(tmp_path / "BENCH_new.json", recorded=2000)
+        assert find_baseline(str(tmp_path), output).endswith(
+            "BENCH_old.json")
+
+    def test_no_candidates(self, tmp_path):
+        assert find_baseline(str(tmp_path), "BENCH_out.json") is None
+
+    def test_committed_bench_documents_are_stamped(self):
+        # The retrofitted corpus must keep discovery deterministic.
+        import glob
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        assert paths, "committed BENCH_*.json corpus went missing"
+        stamps = {}
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                stamps[path] = json.load(fh).get("recorded")
+        assert all(isinstance(v, int) for v in stamps.values()), stamps
+        assert len(set(stamps.values())) == len(stamps), (
+            "recorded stamps must be unique so ordering is total")

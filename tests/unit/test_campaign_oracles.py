@@ -189,3 +189,78 @@ class TestStreamDigest:
         assert stream_digest([a, b]) != stream_digest([b, a])
         assert stream_digest([a, b]) == stream_digest([a, b])
         assert len(stream_digest([])) == 16
+
+
+class TestServiceDecisions:
+    from repro.campaign.oracles import check_service_decisions as check
+
+    check = staticmethod(check)
+
+    def test_every_request_decided_passes(self):
+        issued = [(1, 1), (1, 2), (2, 1)]
+        decisions = {(1, 1): "admit", (1, 2): "queue-full", (2, 1): "admit"}
+        assert self.check(issued, decisions) == []
+
+    def test_undecided_request_flagged(self):
+        violations = self.check([(1, 1), (1, 2)], {(1, 1): "admit"})
+        assert len(violations) == 1
+        assert violations[0].oracle == "service-decision"
+        assert "never received a decision" in violations[0].detail
+
+    def test_phantom_decision_flagged(self):
+        violations = self.check([(1, 1)], {(1, 1): "admit", (9, 9): "admit"})
+        assert len(violations) == 1
+        assert "never issued" in violations[0].detail
+
+    def test_empty_run_passes(self):
+        assert self.check([], {}) == []
+
+
+class TestServiceCompletion:
+    from repro.campaign.oracles import check_service_completion as check
+
+    check = staticmethod(check)
+
+    def test_all_members_applied_passes(self):
+        admitted = frozenset({(1, 1), (2, 1)})
+        applied = {m: frozenset({(1, 1), (2, 1), (3, 7)}) for m in (1, 2)}
+        assert self.check(admitted, applied, [1, 2]) == []
+
+    def test_missing_apply_flagged_per_member(self):
+        admitted = frozenset({(1, 1)})
+        applied = {1: frozenset({(1, 1)}), 2: frozenset()}
+        violations = self.check(admitted, applied, [1, 2])
+        assert len(violations) == 1
+        assert violations[0].oracle == "service-completion"
+        assert "member 2" in violations[0].detail
+
+    def test_restarted_member_not_checked(self):
+        # The runner only passes continuously-alive members.
+        admitted = frozenset({(1, 1)})
+        applied = {1: frozenset({(1, 1)}), 3: frozenset()}
+        assert self.check(admitted, applied, [1]) == []
+
+
+class TestServiceTransparency:
+    from repro.campaign.oracles import check_service_transparency as check
+
+    check = staticmethod(check)
+
+    def test_sheds_are_the_only_deviation_passes(self):
+        twin = frozenset({(1, 1), (1, 2), (2, 1)})
+        applied = {1: frozenset({(1, 1), (2, 1)})}
+        shed = frozenset({(1, 2)})
+        assert self.check(twin, applied, shed, [1]) == []
+
+    def test_silent_loss_flagged(self):
+        twin = frozenset({(1, 1), (1, 2)})
+        applied = {1: frozenset({(1, 1)})}
+        violations = self.check(twin, applied, frozenset(), [1])
+        assert len(violations) == 1
+        assert violations[0].oracle == "service-transparency"
+        assert "silently lost" in violations[0].detail
+
+    def test_extra_applies_in_faulty_run_pass(self):
+        twin = frozenset({(1, 1)})
+        applied = {1: frozenset({(1, 1), (5, 5)})}
+        assert self.check(twin, applied, frozenset(), [1]) == []

@@ -96,3 +96,26 @@ class TestSweepArgumentPlumbing:
         cli.main(["sweep", "--styles", "passive", "--quiet"])
         styles, _ = calls[0]
         assert styles == (ReplicationStyle.PASSIVE,)
+
+    def test_strict_and_shape_flags_passed_through(self, monkeypatch):
+        from repro.check.invariants import CheckMode
+        calls = install_sweep(monkeypatch, SweepReport(cases=[fake_case()]))
+        cli.main(["sweep", "--strict", "--nodes", "6", "--messages", "50",
+                  "--duration", "0.7", "--seed", "42", "--runs", "2",
+                  "--quiet"])
+        _, kwargs = calls[0]
+        assert kwargs["mode"] is CheckMode.STRICT
+        assert kwargs["num_nodes"] == 6
+        assert kwargs["messages"] == 50
+        assert kwargs["duration"] == 0.7
+        assert kwargs["base_seed"] == 42
+        assert kwargs["runs_per_style"] == 2
+
+    def test_progress_streams_unless_quiet(self, monkeypatch, capsys):
+        calls = install_sweep(monkeypatch, SweepReport(cases=[fake_case()]))
+        cli.main(["sweep"])
+        _, kwargs = calls[0]
+        assert kwargs["progress"] is not None
+        cli.main(["sweep", "--quiet"])
+        _, kwargs = calls[1]
+        assert kwargs["progress"] is None

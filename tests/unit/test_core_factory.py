@@ -1,0 +1,40 @@
+"""Unit tests for the replication-engine factory (repro.core.factory)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api.cluster import SimCluster
+from repro.config import ClusterConfig, TotemConfig
+from repro.core.active import ActiveReplication
+from repro.core.active_passive import ActivePassiveReplication
+from repro.core.base import SingleNetwork
+from repro.core.factory import make_replication_engine
+from repro.core.passive import PassiveReplication
+from repro.errors import ConfigError
+from repro.types import ReplicationStyle
+
+STYLE_ENGINES = [
+    (ReplicationStyle.NONE, 1, SingleNetwork),
+    (ReplicationStyle.ACTIVE, 2, ActiveReplication),
+    (ReplicationStyle.PASSIVE, 2, PassiveReplication),
+    (ReplicationStyle.ACTIVE_PASSIVE, 3, ActivePassiveReplication),
+]
+
+
+@pytest.mark.parametrize("style,networks,engine_cls", STYLE_ENGINES)
+def test_factory_builds_the_configured_engine(style, networks, engine_cls):
+    config = ClusterConfig(
+        num_nodes=2,
+        totem=TotemConfig(replication=style, num_networks=networks))
+    cluster = SimCluster(config)
+    for node in cluster.nodes.values():
+        assert isinstance(node.rrp, engine_cls)
+
+
+def test_network_count_mismatch_raises():
+    stack = SimpleNamespace(num_networks=1)
+    config = TotemConfig(replication=ReplicationStyle.ACTIVE,
+                         num_networks=2)
+    with pytest.raises(ConfigError, match="networks"):
+        make_replication_engine(1, config, runtime=None, stack=stack)

@@ -1,0 +1,148 @@
+"""Unit tests for the pressure monitor, circuit breaker and deadline budget."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.backpressure import DEGRADE, OK, SHED, RingPressureMonitor
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_VALUES,
+    CircuitBreaker,
+    DeadlineBudget,
+)
+
+
+class FakeEngine:
+    def __init__(self, depth=0):
+        self.send_queue = [b"x"] * depth
+
+
+def monitor(depths, budget=10, degrade=0.5, shed=0.9):
+    engines = {g: FakeEngine(d) for g, d in enumerate(depths)}
+    return RingPressureMonitor(engines, inflight_budget=budget,
+                               degrade_ratio=degrade, shed_ratio=shed)
+
+
+class TestRingPressureMonitor:
+    def test_state_bands(self):
+        mon = monitor([0, 5, 9, 10])
+        assert mon.state(0) == OK
+        assert mon.state(1) == DEGRADE     # 0.5 of budget
+        assert mon.state(2) == SHED        # 0.9 of budget
+        assert mon.state(3) == SHED
+
+    def test_pressure_and_depth(self):
+        mon = monitor([4])
+        assert mon.depth(0) == 4
+        assert mon.pressure(0) == pytest.approx(0.4)
+
+    def test_headroom_boundary(self):
+        mon = monitor([9, 10, 11])
+        assert mon.has_headroom(0)
+        assert not mon.has_headroom(1)
+        assert not mon.has_headroom(2)
+
+    def test_rebind_swaps_engine(self):
+        mon = monitor([10])
+        assert mon.state(0) == SHED
+        mon.rebind(0, FakeEngine(0))
+        assert mon.state(0) == OK
+
+    def test_snapshot_in_group_order(self):
+        mon = monitor([2, 8])
+        assert mon.snapshot() == {0: pytest.approx(0.2),
+                                  1: pytest.approx(0.8)}
+
+    def test_state_tracks_live_queue(self):
+        engine = FakeEngine(0)
+        mon = RingPressureMonitor({0: engine}, inflight_budget=4)
+        assert mon.state(0) == OK
+        engine.send_queue.extend([b"x"] * 4)
+        assert mon.state(0) == SHED
+        engine.send_queue.clear()
+        assert mon.state(0) == OK
+
+    @pytest.mark.parametrize("kwargs", [
+        {"inflight_budget": 0},
+        {"inflight_budget": 4, "degrade_ratio": 0.0},
+        {"inflight_budget": 4, "degrade_ratio": 0.8, "shed_ratio": 0.5},
+        {"inflight_budget": 4, "shed_ratio": 1.5},
+    ])
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RingPressureMonitor({0: FakeEngine()}, **kwargs)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state(0.0) == CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) == OPEN
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(0.5) == OPEN
+        assert breaker.state(1.0) == HALF_OPEN
+        assert breaker.allow(1.0)          # the single probe
+        assert not breaker.allow(1.0)      # probes exhausted
+        breaker.record_success(1.0)
+        assert breaker.state(1.0) == CLOSED
+        assert breaker.allow(1.0)
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.0)
+        assert breaker.state(1.5) == OPEN
+        # The reset timeout restarted at the half-open failure.
+        assert breaker.state(2.0) == HALF_OPEN
+
+    def test_gauge_values(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0)
+        assert breaker.value(0.0) == STATE_VALUES[CLOSED]
+        breaker.record_failure(0.0)
+        assert breaker.value(0.0) == STATE_VALUES[OPEN]
+        assert breaker.value(1.0) == STATE_VALUES[HALF_OPEN]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"reset_timeout": 0.0},
+        {"half_open_probes": 0},
+    ])
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(**kwargs)
+
+
+class TestDeadlineBudget:
+    def test_charges_until_exhausted(self):
+        budget = DeadlineBudget(start=1.0, timeout=0.001)
+        assert not budget.expired
+        assert budget.charge(0.0004)
+        assert budget.charge(0.0004)
+        assert not budget.charge(0.0004)   # 1.0012 > 1.001
+        assert budget.expired
+
+    def test_now_tracks_charges(self):
+        budget = DeadlineBudget(start=2.0, timeout=1.0)
+        budget.charge(0.25)
+        assert budget.now == pytest.approx(2.25)
+
+    def test_zero_timeout_raises(self):
+        with pytest.raises(ConfigError):
+            DeadlineBudget(start=0.0, timeout=0.0)
