@@ -68,6 +68,11 @@ class AsyncioRuntime:
     def post(self, callback: Callable[..., None], *args: Any) -> None:
         self._loop.call_soon(callback, *args)
 
+    def drain_now(self, pairs) -> None:
+        call_soon = self._loop.call_soon
+        for callback, args in pairs:
+            call_soon(callback, *args)
+
 
 class AsyncioTotemNode:
     """A complete Totem RRP node on real UDP sockets."""

@@ -21,7 +21,7 @@ from ..types import ReplicationStyle
 from . import figures
 
 TARGETS = ("fig6", "fig7", "fig8", "fig9", "srp", "claims", "ap", "failover",
-           "gate", "multiring", "service", "all")
+           "gate", "multiring", "service", "profile", "all")
 
 
 def _maybe_svg(figure, svg_dir: Optional[str]) -> None:
@@ -222,7 +222,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="gate: run the throughput workloads with "
                                  "message batching disabled (the pre-batch "
                                  "hot path)")
+    prof_group = parser.add_argument_group("profile options")
+    prof_group.add_argument("--workload", choices=("fig6", "service", "all"),
+                            default="all",
+                            help="profile: which workload(s) to profile")
+    prof_group.add_argument("--top", type=int, default=25, metavar="N",
+                            help="profile: rows per table (cumulative and "
+                                 "internal time)")
+    prof_group.add_argument("--pstats-out", metavar="FILE", default=None,
+                            help="profile: dump raw pstats data to FILE")
     args = parser.parse_args(argv)
+    if args.target == "profile":
+        from .profile import main_profile
+        return main_profile(args)
     if args.target == "gate":
         return _run_gate(args)
     if args.target == "multiring":

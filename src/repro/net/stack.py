@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from .. import _fast
 from ..config import LanConfig
 from ..errors import TransportError
 from ..sim.scheduler import EventScheduler
@@ -70,6 +71,13 @@ class NodeCpu:
         returning seconds, evaluated when the job reaches the head of the
         queue.
         """
+        fast = _fast.cpu_submit
+        if fast is not None:
+            # Compiled twin of the queue/begin logic below; the scheduled
+            # entry stays `[when, counter, self._finish, (fn, args)]`, so
+            # explorer classification and deepcopy snapshots are unchanged.
+            fast(self, cost, fn, args)
+            return
         if self._running:
             self._queue.append((cost, fn, args))
             return
@@ -96,6 +104,10 @@ class NodeCpu:
         scheduler.schedule(scheduler.clock._now + cost, self._finish, fn, args)
 
     def _finish(self, fn: Callable[..., None], args: tuple) -> None:
+        fast = _fast.cpu_finish
+        if fast is not None:
+            fast(self, fn, args)
+            return
         try:
             fn(*args)
         finally:

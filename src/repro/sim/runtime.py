@@ -47,14 +47,26 @@ class Runtime(Protocol):
         """
         ...
 
+    def drain_now(self, pairs) -> None:
+        """Post a vector of ``(callback, args)`` pairs in one call.
+
+        Bulk form of :meth:`post` with identical semantics: the pairs run
+        FIFO at the current time, exactly as the equivalent sequence of
+        individual posts would.  The batch receive path hands a whole frame
+        train's applies over in one call instead of one ``post`` per packet.
+        """
+        ...
+
 
 class SimRuntime:
     """A :class:`Runtime` backed by the discrete-event scheduler."""
 
     def __init__(self, scheduler: EventScheduler) -> None:
         self._scheduler = scheduler
-        #: Bound straight through: ``post`` sits on the batch hot path.
+        #: Bound straight through: ``post``/``drain_now`` sit on the batch
+        #: hot path.
         self.post = scheduler.schedule_now
+        self.drain_now = scheduler.drain_now
 
     def now(self) -> float:
         return self._scheduler.now()

@@ -31,6 +31,7 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
+from .. import _fast
 from ..errors import SimulationError
 from .clock import VirtualClock
 
@@ -159,6 +160,19 @@ class EventScheduler:
         Not cancellable; callers that may cancel use :meth:`call_at`.
         """
         self._now_queue.append((callback, args))
+
+    def drain_now(self, pairs) -> None:
+        """Post a whole vector of ready callbacks at the current time.
+
+        ``pairs`` is an iterable of ``(callback, args)`` tuples — exactly the
+        now-queue's entry shape — appended FIFO in one deque ``extend``.  The
+        bulk form of :meth:`schedule_now`: a batch frame's per-packet applies
+        post as one call instead of one ``schedule_now`` per packet, and the
+        queued entries (and therefore dispatch order, ``events_processed``
+        accounting and the explorer's reified view) are byte-identical to the
+        equivalent sequence of individual posts.
+        """
+        self._now_queue.extend(pairs)
 
     # ----- tombstone accounting -----
 
@@ -338,20 +352,31 @@ class EventScheduler:
 
         Events scheduled exactly at ``t`` do fire.
         """
+        fast = _fast.scheduler_run_until
+        if fast is not None:
+            # The compiled twin of the loop below (repro._fast._corec);
+            # byte-identical dispatch order and accounting, selected per
+            # call so repro.core.accel can flip modes mid-process.
+            fast(self, t)
+            return
         # Hot loop: one heappop per entry, no per-event helper calls.  The
         # heap list is aliased, never rebound (push/pop/_compact all mutate
-        # in place), so callbacks scheduling further events remain visible.
+        # in place), so callbacks scheduling further events remain visible;
+        # the deque likewise is only ever mutated, so ``pop_now`` stays
+        # valid across callbacks.
         heap = self._heap
         now_queue = self._now_queue
+        pop_now = now_queue.popleft
         clock = self.clock
         events = 0
         try:
             while True:
                 # Vectorized same-timestamp dispatch: now-events drain FIFO
-                # from the deque, one append/popleft per event, without a
-                # heap push/pop pair or a clock comparison each.
+                # from the deque, one locally-bound popleft + call per
+                # event, without a heap push/pop pair or a clock comparison
+                # each.
                 while now_queue:
-                    callback, args = now_queue.popleft()
+                    callback, args = pop_now()
                     callback(*args)
                     events += 1
                 if not heap:
@@ -377,6 +402,21 @@ class EventScheduler:
                     clock.advance_to(when)
                 callback(*entry[_ARGS])
                 events += 1
+                # Same-timestamp run: keep draining heap entries that share
+                # ``when`` without re-touching the clock or re-comparing
+                # against ``t`` (when <= t already held).  The run pauses the
+                # moment a callback posts a now-event — now-events must fire
+                # before any not-yet-popped heap entry, even one at the same
+                # timestamp.
+                while not now_queue and heap and heap[0][_WHEN] == when:
+                    entry = heappop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        self._dead -= 1
+                        continue
+                    entry[_CALLBACK] = None
+                    callback(*entry[_ARGS])
+                    events += 1
         finally:
             self._events_processed += events
         clock.advance_to(max(t, clock._now))

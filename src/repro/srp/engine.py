@@ -34,6 +34,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
 
+from .. import _fast
 from ..config import TotemConfig
 from ..errors import NotMemberError
 from ..sim.runtime import Runtime
@@ -63,8 +64,8 @@ from ..wire.packets import (
     TOKEN_MAX_RTR,
 )
 from .flow import FlowController
-from .ordering import ReceiveBuffer
-from .packing import Packer, Reassembler
+from .ordering import ReceiveBuffer, make_receive_buffer
+from .packing import Packer, Reassembler, make_reassembler
 from .send_queue import SendQueue
 
 
@@ -159,9 +160,9 @@ class TotemSrp:
         #: RingId instances known value-equal to :attr:`ring_id` (other
         #: members' copies), memoized by :meth:`_buffer_for_ring`.
         self._ring_aliases: dict = {}
-        self.recv_buffer = ReceiveBuffer()
+        self.recv_buffer = make_receive_buffer()
         self._delivered_seq: SeqNum = 0
-        self._reassembler = Reassembler()
+        self._reassembler = make_reassembler()
         self.send_queue = SendQueue(config.send_queue_capacity)
         self._packer = Packer(self.send_queue, config.max_packet_payload,
                               config.enable_packing)
@@ -207,7 +208,7 @@ class TotemSrp:
         self._old_delivered: SeqNum = 0
         self._old_reassembler: Optional[Reassembler] = None
         self._recovery_pending: List[DataPacket] = []
-        self._recovery_reassembler = Reassembler()
+        self._recovery_reassembler = make_reassembler()
         #: True once this node voted "done" on the recovery token.  From
         #: that moment other members may complete the installation, so the
         #: new ring may no longer be silently abandoned (EVS safety).
@@ -412,6 +413,13 @@ class TotemSrp:
         already is dropped after the sequence checks, without ordering or
         delivery work.
         """
+        fast = _fast.engine_is_duplicate_batch
+        if fast is not None:
+            # Current-ring batches (the common case) resolve in C; old-ring
+            # or foreign traffic returns NotImplemented and falls through.
+            verdict = fast(self, batch)
+            if verdict is not NotImplemented:
+                return verdict
         buffer = self._buffer_for_ring(batch.ring_id)
         if buffer is None:
             return False
@@ -480,12 +488,22 @@ class TotemSrp:
         delivery logs.  The applies are posted as individual micro-events
         rather than run inline: the scheduler dispatches the train through
         its vectorized same-timestamp queue, keeping one (cheap) event per
-        packet instead of one heavyweight event per batch.
+        packet instead of one heavyweight event per batch.  The whole vector
+        is handed over in a single ``drain_now`` call, which enqueues
+        entries byte-identical to one ``post`` per packet — dispatch order,
+        event accounting and the explorer's view are unchanged.
         """
-        post = self.runtime.post
+        fast = _fast.engine_on_batch
+        if fast is not None:
+            # Compiled twin of the loop below: same posted entries (the
+            # callbacks are this engine's bound methods either way), same
+            # dedup against _pending_applies, one drain_now call.
+            fast(self, batch, network)
+            return
         apply_one = self._apply_batched_packet
         pending = self._pending_applies
-        posted = 0
+        ready = []
+        append = ready.append
         for packet in batch.packets:
             seq = packet.seq
             if seq in pending:
@@ -495,12 +513,18 @@ class TotemSrp:
                 # re-posting would only duplicate the apply.
                 continue
             pending.add(seq)
-            post(apply_one, packet, network)
-            posted += 1
-        if posted:
-            post(self._deliver_after_batch)
+            append((apply_one, (packet, network)))
+        if ready:
+            append((self._deliver_after_batch, ()))
+            self.runtime.drain_now(ready)
 
     def _apply_batched_packet(self, packet: DataPacket, network: int) -> None:
+        fast = _fast.engine_apply_batched
+        if fast is not None:
+            # Compiled twin of the body below (current-ring fast path in C,
+            # everything rare bails back to on_data).
+            fast(self, packet, network)
+            return
         self._pending_applies.discard(packet.seq)
         if self._stopped:
             # The incarnation was stopped between the batch frame's arrival
@@ -819,6 +843,12 @@ class TotemSrp:
         return sent
 
     def _broadcast_batched(self, token: Token, allowance: int) -> int:
+        fast = _fast.engine_broadcast_batched
+        if fast is not None:
+            # Compiled twin of the body below: C packer drain, packet
+            # construction (with the wire-size cache precomputed) and
+            # self-insert; the transport call and flow control stay here.
+            return fast(self, token, allowance)
         chunk_lists = self._packer.next_batch(
             allowance if allowance < BATCH_MAX_PACKETS else BATCH_MAX_PACKETS)
         if not chunk_lists:
@@ -876,6 +906,14 @@ class TotemSrp:
 
     def _try_deliver(self) -> None:
         """Deliver contiguous packets (agreed order; safe order if configured)."""
+        fast = _fast.engine_try_deliver
+        if fast is not None:
+            # Compiled twin of the sweep below.  The indirection lives
+            # *inside* the method so instrumentation that patches
+            # ``_try_deliver`` (e.g. the explorer's eager-delivery
+            # mutation) replaces both implementations at once.
+            fast(self)
+            return
         limit = (self._stable_seq if self.config.safe_delivery
                  else self.recv_buffer.my_aru)
         while self._delivered_seq < limit:
@@ -1140,7 +1178,7 @@ class TotemSrp:
             self._old_reassembler = self._reassembler
 
         self._recovery_pending = self._plan_recovery(commit)
-        self._recovery_reassembler = Reassembler()
+        self._recovery_reassembler = make_reassembler()
         self._voted_done = False
         self._recovery_absorbed = 0
         self.trace("recovery",
@@ -1151,9 +1189,9 @@ class TotemSrp:
         self.ring_id = commit.ring_id
         self._ring_aliases.clear()
         self._pending_membership = new_members
-        self.recv_buffer = ReceiveBuffer()
+        self.recv_buffer = make_receive_buffer()
         self._delivered_seq = 0
-        self._reassembler = Reassembler()
+        self._reassembler = make_reassembler()
         self._flow.reset()
         self._last_token = None
         self._last_accepted_stamp = (-1, -1)

@@ -1,0 +1,234 @@
+"""Pure vs compiled equivalence: the ISSUE-10 determinism bar.
+
+The compiled core (``repro._fast._corec``) is admissible only if it is
+*observationally invisible*: for any seed, loss rate, batching setting and
+ring topology, a world run on the C implementations must produce
+
+* byte-identical delivery logs on every node,
+* byte-identical ``repro.obs`` JSONL exports,
+* identical RNG stream states afterwards (same draws, same order), and
+* byte-identical campaign-corpus replay text (tier-1 smoke below),
+
+as the same world run on the pure-Python reference.  Both runs execute in
+one process: :mod:`repro.core.accel` rebinds the implementation slots, so
+each hypothesis example builds one world pure and one compiled and diffs
+them field by field.
+
+When the extension is not built (or ``REPRO_PURE=1``), the comparison is
+impossible and the whole module skips — the pure implementations are then
+the only implementations, which is vacuously equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.cluster import SimCluster
+from repro.app import ShardedKv
+from repro.bench.runner import build_config
+from repro.config import TotemConfig
+from repro.core import accel
+from repro.multiring import MultiRingCluster, MultiRingConfig
+from repro.net.faults import FaultPlan
+from repro.obs import samples_to_jsonl
+from repro.types import ReplicationStyle, RingId
+from repro.wire.codec import decode_packet, encode_packet
+from repro.wire.packets import (
+    BATCH_MAX_PACKETS,
+    BatchPacket,
+    Chunk,
+    ChunkKind,
+    DataPacket,
+)
+
+pytestmark = pytest.mark.skipif(
+    not accel.available(),
+    reason="compiled core not built (run tools/build_accel.py; unset REPRO_PURE)")
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "..", "scenarios")
+
+
+@pytest.fixture(autouse=True)
+def _restore_accel_mode():
+    """Every test flips modes; put the session default back afterwards."""
+    before = accel.mode()
+    yield
+    if before == "compiled":
+        accel.use_compiled()
+    else:
+        accel.use_pure()
+
+
+def run_world(mode: str, style: ReplicationStyle, seed: int,
+              loss_permille: int, enable_batching: bool, num_messages: int):
+    """One complete cluster run in the given accel mode.
+
+    Returns everything the determinism bar names: per-node delivery logs,
+    the obs JSONL export, and the final state of every RNG stream (equal
+    states == same draw count in the same order, since both worlds start
+    from the same seeds).
+    """
+    if mode == "compiled":
+        accel.use_compiled()
+    else:
+        accel.use_pure()
+    config = build_config(style, 4, seed=seed,
+                          enable_batching=enable_batching)
+    config = dataclasses.replace(config, obs="full", obs_interval=0.01)
+    cluster = SimCluster(config)
+    if loss_permille:
+        cluster.apply_fault_plan(
+            FaultPlan()
+            .set_loss(at=0.01, network=0, rate=loss_permille / 1000.0)
+            .set_loss(at=0.15, network=0, rate=0.0))
+    cluster.start()
+    node_ids = sorted(cluster.nodes)
+    for i in range(num_messages):
+        sender = cluster.node(node_ids[i % len(node_ids)])
+        sender.submit(b"%08d" % i + b"p" * 120)
+    for _ in range(100):
+        cluster.run_for(0.05)
+        if all(len(cluster.delivered_payloads(n)) >= num_messages
+               for n in node_ids):
+            break
+    logs = {n: [(m.sender, m.seq, m.payload, m.ring_id)
+                for m in cluster.node(n).delivered]
+            for n in node_ids}
+    jsonl = samples_to_jsonl(cluster.obs.samples) if cluster.obs else ""
+    rng_states = {name: rng.getstate()
+                  for name, rng in sorted(cluster.rng._streams.items())}
+    return logs, jsonl, rng_states
+
+
+def run_multiring_world(seed: int, num_rings: int, loss_permille: int,
+                        num_keys: int):
+    """One sharded-KV multi-ring run; returns each auditor's merged log.
+
+    Mirrors the PR-8 determinism property's workload so the compiled core
+    is exercised across the cross-ring merge as well.
+    """
+    config = MultiRingConfig(
+        num_rings=num_rings, num_nodes=3, seed=seed, merge_interval=0.01,
+        totem=TotemConfig(replication=ReplicationStyle.ACTIVE,
+                          num_networks=2))
+    cluster = MultiRingCluster(config)
+    audit_members = (1, 2, 3)
+    kv = ShardedKv(cluster, audit_members=audit_members)
+    if loss_permille:
+        cluster.apply_fault_plan(
+            FaultPlan()
+            .set_loss(at=0.02, network=0, rate=loss_permille / 1000.0)
+            .set_loss(at=0.2, network=0, rate=0.0))
+    cluster.start()
+    for i in range(num_keys):
+        kv.set(b"key:%d" % i, b"val:%d" % i, sender=1 + i % 3)
+    cluster.run_for(0.3)
+    cluster.stop_markers()
+    cluster.run_for(0.2)
+    assert kv.converged()
+    return {m: kv.audit_log(m) for m in audit_members}
+
+
+node_ids = st.integers(min_value=0, max_value=2**32 - 1)
+ring_ids = st.builds(RingId,
+                     seq=st.integers(min_value=0, max_value=2**32 - 1),
+                     representative=node_ids)
+chunks = st.builds(
+    Chunk,
+    kind=st.sampled_from(list(ChunkKind)),
+    msg_id=st.integers(min_value=0, max_value=2**32 - 1),
+    flags=st.integers(min_value=0, max_value=3),
+    data=st.binary(max_size=256))
+
+
+@st.composite
+def batch_packets(draw):
+    """A well-formed frame train: one sender/ring, contiguous sequences."""
+    sender = draw(node_ids)
+    ring = draw(ring_ids)
+    first_seq = draw(st.integers(min_value=1, max_value=2**62))
+    chunk_lists = draw(st.lists(st.lists(chunks, max_size=4),
+                                min_size=1, max_size=BATCH_MAX_PACKETS))
+    return BatchPacket(packets=tuple(
+        DataPacket(sender=sender, ring_id=ring, seq=first_seq + i,
+                   chunks=tuple(chunk_list))
+        for i, chunk_list in enumerate(chunk_lists)))
+
+
+class TestPureCompiledEquivalence:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           style=st.sampled_from([ReplicationStyle.ACTIVE,
+                                  ReplicationStyle.NONE]),
+           loss_permille=st.sampled_from([0, 0, 40, 120]),
+           enable_batching=st.booleans(),
+           num_messages=st.integers(min_value=4, max_value=32))
+    def test_single_ring_worlds_identical(self, seed, style, loss_permille,
+                                          enable_batching, num_messages):
+        pure = run_world("pure", style, seed, loss_permille,
+                         enable_batching, num_messages)
+        compiled = run_world("compiled", style, seed, loss_permille,
+                             enable_batching, num_messages)
+        assert compiled[0] == pure[0], "delivery logs diverged"
+        assert compiled[1] == pure[1], "obs JSONL diverged"
+        assert compiled[2] == pure[2], "RNG draw order diverged"
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           loss_permille=st.sampled_from([0, 50]),
+           num_keys=st.integers(min_value=5, max_value=20))
+    def test_multi_ring_worlds_identical(self, seed, loss_permille, num_keys):
+        accel.use_pure()
+        pure = run_multiring_world(seed, 3, loss_permille, num_keys)
+        accel.use_compiled()
+        compiled = run_multiring_world(seed, 3, loss_permille, num_keys)
+        assert compiled == pure, "multi-ring merged logs diverged"
+
+
+class TestCodecEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(batch=batch_packets())
+    def test_encode_bytes_identical(self, batch):
+        accel.use_pure()
+        pure_batch = encode_packet(batch)
+        pure_data = encode_packet(batch.packets[0])
+        accel.use_compiled()
+        assert encode_packet(batch) == pure_batch
+        assert encode_packet(batch.packets[0]) == pure_data
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=batch_packets())
+    def test_decode_objects_identical(self, batch):
+        encoded = encode_packet(batch)
+        accel.use_pure()
+        pure_obj = decode_packet(encoded)
+        accel.use_compiled()
+        assert decode_packet(encoded) == pure_obj
+
+
+class TestCorpusSmokeCompiled:
+    """Tier-1 smoke: the pinned scenario corpus replays byte-identically
+    under the compiled core (ISSUE-10 satellite)."""
+
+    CORPUS = sorted(glob.glob(os.path.join(SCENARIO_DIR, "*.json")))
+
+    @pytest.mark.parametrize(
+        "path", CORPUS,
+        ids=[os.path.splitext(os.path.basename(p))[0] for p in CORPUS])
+    def test_scenario_replay_matches_pure(self, path):
+        from repro.campaign import load_scenario, run_scenario
+        scenario = load_scenario(path)
+        accel.use_pure()
+        pure = run_scenario(scenario)
+        accel.use_compiled()
+        compiled = run_scenario(scenario)
+        assert pure.ok and compiled.ok
+        assert compiled.replay_text == pure.replay_text

@@ -259,3 +259,88 @@ class TestTargetParsing:
         assert cli.main(["fig6", "--quick", "--svg", str(tmp_path)]) == 0
         assert len(written) == 1
         assert written[0].startswith(str(tmp_path))
+
+
+class TestProfileFlags:
+    def capture(self, monkeypatch, result=None, error=None):
+        calls = {}
+
+        def fake_run_profile(**kwargs):
+            calls.update(kwargs)
+            if error is not None:
+                raise error
+            return result if result is not None else {"fig6": "fig6 table"}
+
+        monkeypatch.setattr("repro.bench.profile.run_profile",
+                            fake_run_profile)
+        return calls
+
+    def test_defaults_profile_everything(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        assert cli.main(["profile"]) == 0
+        assert calls["workload"] == "all"
+        assert calls["top"] == 25
+        assert calls["pstats_out"] is None
+        assert calls["quick"] is False
+
+    def test_flags_passed_through(self, monkeypatch):
+        calls = self.capture(monkeypatch)
+        assert cli.main(["profile", "--workload", "service", "--top", "7",
+                         "--pstats-out", "prof.pstats", "--quick"]) == 0
+        assert calls["workload"] == "service"
+        assert calls["top"] == 7
+        assert calls["pstats_out"] == "prof.pstats"
+        assert calls["quick"] is True
+
+    def test_tables_and_dump_reported(self, monkeypatch, capsys):
+        self.capture(monkeypatch, result={
+            "fig6": "fig6 table", "service": "svc table",
+            "pstats_out": "prof.pstats"})
+        assert cli.main(["profile"]) == 0
+        captured = capsys.readouterr()
+        assert "profile: fig6 workload" in captured.out
+        assert "profile: service workload" in captured.out
+        assert "svc table" in captured.out
+        assert "prof.pstats" in captured.err
+
+    def test_value_error_exits_nonzero(self, monkeypatch, capsys):
+        self.capture(monkeypatch, error=ValueError("--top must be >= 1"))
+        assert cli.main(["profile"]) == 1
+        assert "--top must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            cli.main(["profile", "--workload", "nope"])
+
+
+class TestRunProfileValidation:
+    def test_unknown_workload_raises(self):
+        from repro.bench.profile import run_profile
+        with pytest.raises(ValueError, match="unknown profile workload"):
+            run_profile(workload="fig42")
+
+    def test_nonpositive_top_raises(self):
+        from repro.bench.profile import run_profile
+        with pytest.raises(ValueError, match="--top must be >= 1"):
+            run_profile(workload="fig6", top=0)
+
+    def test_pstats_dump_writes_file(self, monkeypatch, tmp_path):
+        import cProfile
+
+        from repro.bench import profile as profile_mod
+
+        def fake_fig6(quick):
+            profiler = cProfile.Profile()
+            profiler.enable()
+            sum(range(100))
+            profiler.disable()
+            return profiler
+
+        monkeypatch.setattr(profile_mod, "_profile_fig6", fake_fig6)
+        out = tmp_path / "dump.pstats"
+        tables = profile_mod.run_profile(workload="fig6", top=3,
+                                         pstats_out=str(out))
+        assert out.exists()
+        assert tables["pstats_out"] == str(out)
+        assert "Ordered by: cumulative time" in tables["fig6"]
+        assert "Ordered by: internal time" in tables["fig6"]

@@ -567,3 +567,158 @@ class TestExplorerHooks:
         scheduler.run_until(100.0)
         assert scheduler.dead_entries == 0
         assert scheduler.pending() == 0
+
+
+class TestBatchedDispatchAccounting:
+    """The batched dispatch loops (now-queue drain, same-timestamp heap
+    run, ``drain_now`` bulk posts) must be invisible to the accounting:
+    ``metrics()`` / ``dead_entries`` / ``compactions`` read exactly as if
+    every event had been dispatched one ``step()`` at a time."""
+
+    @staticmethod
+    def _build_workload(scheduler, fired):
+        """A mixed workload: same-time ties, chained now-events, cancels."""
+        scheduler.call_at(1.0, fired.append, "a")
+        doomed = scheduler.call_at(1.0, fired.append, "doomed-same-time")
+        scheduler.call_at(1.0, fired.append, "b")
+
+        def post_batch():
+            fired.append("batch-head")
+            scheduler.drain_now([(fired.append, ("n1",)),
+                                 (fired.append, ("n2",)),
+                                 (fired.append, ("n3",))])
+
+        scheduler.call_at(2.0, post_batch)
+        scheduler.call_at(2.0, fired.append, "after-batch-entry")
+        far = [scheduler.call_after(50.0 + i, lambda: None) for i in range(4)]
+        scheduler.call_at(1.0, lambda: (doomed.cancel(),
+                                        [t.cancel() for t in far]))
+        scheduler.call_at(3.0, fired.append, "tail")
+
+    def test_metrics_identical_batched_vs_step(self):
+        batched_fired, stepped_fired = [], []
+
+        batched = EventScheduler()
+        self._build_workload(batched, batched_fired)
+        batched.run_until(10.0)
+        # Far-future tombstones have not surfaced yet; accounting agrees
+        # with the heap's actual contents mid-run.
+        assert batched.dead_entries == _tombstones(batched) == 4
+
+        stepped = EventScheduler()
+        self._build_workload(stepped, stepped_fired)
+        while stepped.step():
+            pass
+        batched.run_until(60.0)  # surface the remaining tombstones
+
+        assert batched_fired == stepped_fired
+        assert batched.metrics() == stepped.metrics()
+        assert batched.dead_entries == 0
+
+    def test_drain_now_matches_individual_posts(self):
+        pairs = [(i, ("ev%d" % i,)) for i in range(12)]
+
+        bulk_fired, single_fired = [], []
+        bulk = EventScheduler()
+        bulk.drain_now([(bulk_fired.append, args) for _, args in pairs])
+        single = EventScheduler()
+        for _, args in pairs:
+            single.schedule_now(single_fired.append, *args)
+        assert bulk.metrics() == single.metrics()  # both still queued
+        bulk.run_until(0.0)
+        single.run_until(0.0)
+        assert bulk_fired == single_fired == [a[0] for _, a in pairs]
+        assert bulk.metrics() == single.metrics()
+        assert bulk.metrics()["events_processed"] == len(pairs)
+
+    def test_cancel_idempotent_across_drain_now_flush(self):
+        scheduler = EventScheduler()
+        fired = []
+        timer = scheduler.call_at(5.0, fired.append, "must-not-fire")
+        # The batch cancels the timer twice mid-flush; a third cancel
+        # lands after the flush completes.
+        scheduler.drain_now([(timer.cancel, ()),
+                             (fired.append, ("between",)),
+                             (timer.cancel, ())])
+        scheduler.run_until(0.0)
+        timer.cancel()
+        assert fired == ["between"]
+        assert scheduler.dead_entries == 1  # counted once, not three times
+        assert not timer.active and timer.cancelled
+        scheduler.run_until(10.0)  # tombstone surfaces and drains
+        assert fired == ["between"]
+        assert scheduler.dead_entries == 0
+        assert scheduler.metrics() == {"events_processed": 3, "pending": 0,
+                                       "dead_entries": 0, "compactions": 0}
+
+    def test_same_timestamp_tombstone_discard_accounting(self):
+        # Tombstones sharing a timestamp with live entries are discarded
+        # inside the batched same-timestamp inner loop; the dead count and
+        # events_processed must match the one-step-at-a-time reference.
+        def build(scheduler, fired):
+            timers = [scheduler.call_at(1.0, fired.append, i)
+                      for i in range(6)]
+            for timer in timers[1::2]:
+                timer.cancel()
+
+        batched_fired, stepped_fired = [], []
+        batched = EventScheduler()
+        build(batched, batched_fired)
+        batched.run_until(1.0)
+        stepped = EventScheduler()
+        build(stepped, stepped_fired)
+        while stepped.step():
+            pass
+        assert batched_fired == stepped_fired == [0, 2, 4]
+        assert batched.metrics() == stepped.metrics()
+        assert batched.dead_entries == 0
+
+    def test_mid_batch_cancel_of_later_same_time_entry(self):
+        # A same-timestamp run where an early callback cancels a peer that
+        # is still in the heap at the same time: the batched loop must skip
+        # it with correct dead accounting, exactly like step().
+        def build(scheduler, fired):
+            victim = scheduler.call_at(1.0, fired.append, "victim")
+            scheduler.call_at(1.0, lambda: (fired.append("killer"),
+                                            victim.cancel()))
+            scheduler.call_at(1.0, fired.append, "bystander")
+            return victim
+
+        batched_fired, stepped_fired = [], []
+        batched = EventScheduler()
+        build(batched, batched_fired)
+        batched.run_until(2.0)
+        stepped = EventScheduler()
+        build(stepped, stepped_fired)
+        while stepped.step():
+            pass
+        # call_at(1.0, killer) was inserted after victim, so victim fires
+        # first in insertion order... unless the killer comes first.  The
+        # insertion order here is victim, killer, bystander: victim fires,
+        # then its cancel is a no-op on a fired timer.
+        assert batched_fired == stepped_fired
+        assert batched.metrics() == stepped.metrics()
+        assert batched.dead_entries == stepped.dead_entries == 0
+
+    def test_compaction_counters_identical_batched_vs_step(self):
+        def build(scheduler, fired):
+            scheduler.compact_min_dead = 4
+            far = [scheduler.call_after(100.0 + i, lambda: None)
+                   for i in range(10)]
+            scheduler.call_at(1.0, lambda: [t.cancel() for t in far])
+            scheduler.call_at(2.0, fired.append, "late")
+
+        batched_fired, stepped_fired = [], []
+        batched = EventScheduler()
+        build(batched, batched_fired)
+        batched.run_until(5.0)
+        assert batched.dead_entries == _tombstones(batched)
+        stepped = EventScheduler()
+        build(stepped, stepped_fired)
+        while stepped.step():
+            pass
+        batched.run_until(200.0)  # surface the post-compaction tombstones
+        assert batched_fired == stepped_fired == ["late"]
+        assert batched.compactions == stepped.compactions == 1
+        assert batched.metrics() == stepped.metrics()
+        assert batched.dead_entries == 0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Build the optional compiled core (repro._fast._corec) in place.
+
+Usage::
+
+    python tools/build_accel.py            # build into src/repro/_fast/
+    python tools/build_accel.py --check    # exit 0 iff the built core imports
+
+The extension is deliberately *not* part of the default package build:
+``pip install .`` must succeed on a machine with no C compiler, and the
+pure-Python implementations are the behavioural reference.  This script is
+the whole opt-in build step — it compiles one C file with the running
+interpreter's headers and drops the shared object next to
+``src/repro/_fast/__init__.py``, where the normal import machinery finds
+it (see docs/PERFORMANCE.md).
+
+Requires only a C compiler and setuptools (the ``[accel]`` extra).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import sysconfig
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+FAST_DIR = os.path.join(SRC_DIR, "repro", "_fast")
+C_SOURCE = os.path.join(FAST_DIR, "_corec.c")
+
+
+def check() -> int:
+    sys.path.insert(0, SRC_DIR)
+    os.environ.pop("REPRO_PURE", None)
+    try:
+        from repro._fast import _corec
+    except ImportError as exc:
+        print(f"compiled core NOT importable: {exc}")
+        return 1
+    print(f"compiled core OK: {_corec.__file__}")
+    return 0
+
+
+def build() -> int:
+    from setuptools import Distribution, Extension
+
+    ext = Extension(
+        "repro._fast._corec",
+        sources=[os.path.relpath(C_SOURCE, REPO_ROOT)],
+        extra_compile_args=["-O2"],
+    )
+    # Drive only build_ext (no dist metadata, no install): compile into a
+    # scratch dir, then copy the artifact next to the package source —
+    # equivalent to `build_ext --inplace` for a src-layout tree.
+    build_dir = tempfile.mkdtemp(prefix="repro-accel-")
+    try:
+        dist = Distribution({"name": "repro-accel", "ext_modules": [ext]})
+        cmd = dist.get_command_obj("build_ext")
+        cmd.build_lib = build_dir
+        cmd.build_temp = os.path.join(build_dir, "temp")
+        cmd.ensure_finalized()
+        cmd.run()
+        built = cmd.get_outputs()[0]
+        target = os.path.join(FAST_DIR, os.path.basename(built))
+        shutil.copy2(built, target)
+        print(f"built {target}")
+    finally:
+        shutil.rmtree(build_dir, ignore_errors=True)
+    # Smoke-check the artifact in a fresh interpreter so a broken build
+    # fails here, not at the first `import repro` later.
+    rc = os.spawnv(os.P_WAIT, sys.executable,
+                   [sys.executable, os.path.abspath(__file__), "--check"])
+    return rc
+
+
+def main() -> int:
+    os.chdir(REPO_ROOT)
+    if "--check" in sys.argv[1:]:
+        return check()
+    return build()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
